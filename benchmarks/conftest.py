@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one of the paper's tables or figures via the
+experiment harness, measures the wall time of doing so with
+pytest-benchmark (a single round — these are simulations, not microbenches),
+prints the rendered table so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the paper-reproduction report, and asserts the figure's
+qualitative *shape* (who wins, roughly by how much).
+
+Simulation results for identical (workload, scheme, scale) cells are
+memoized process-wide by :mod:`repro.experiments.runner`, so the full suite
+costs one sweep of the (workload x scheme) grid.
+"""
+
+import pytest
+
+#: Scale factor for all benches; 1.0 = the sizes used in EXPERIMENTS.md.
+BENCH_SCALE = 1.0
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

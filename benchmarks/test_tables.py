@@ -1,0 +1,25 @@
+"""Tables 1 & 2 — configuration and workload inventory reproduction."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_table1_config(benchmark):
+    text = run_once(benchmark, tables.table1)
+    print("\n" + text)
+    assert "15" in text  # SM count
+    assert "48" in text  # warps per SM
+    assert "16KB" in text and "768KB" in text
+    assert "120 cycles" in text and "220 cycles" in text
+
+
+def test_table2_workloads(benchmark):
+    text = run_once(benchmark, tables.table2)
+    print("\n" + text)
+    for name in ("bfs", "kmeans", "needle", "srad_1", "tpacf"):
+        assert name in text
+    rows = [line for line in text.splitlines() if "|" in line][1:]  # drop header
+    assert len(rows) == 12  # Table 2 lists twelve benchmark rows
+    assert sum(1 for r in rows if r.rstrip().endswith("Non-sens")) == 5
+    assert sum(1 for r in rows if not r.rstrip().endswith("Non-sens")) == 7

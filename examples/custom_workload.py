@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Define a brand-new workload against the public Workload API.
+
+Implements a molecular-dynamics-flavoured "cutoff force" kernel from
+scratch: each thread owns a particle, scans a neighbour list of varying
+length (workload imbalance!), and accumulates a pair force only for
+neighbours within a cutoff radius (branch divergence!).  The example shows
+the full authoring flow — input generation, KernelBuilder code, NumPy
+verification — and then measures how much CAWA helps the imbalance.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import GPU, GPUConfig, CmpOp, KernelBuilder, Special, apply_scheme
+from repro.workloads.base import LaunchSpec, Workload
+
+
+class CutoffForceWorkload(Workload):
+    """1D cutoff pair-force accumulation over an irregular neighbour list."""
+
+    name = "cutoff_force"
+    category = "Sens"
+    dataset = "1024 particles, power-law neighbour counts, r_cut=0.1"
+
+    def __init__(self, seed=99, scale=1.0, num_particles=1024, cutoff=0.1):
+        super().__init__(seed=seed, scale=scale)
+        self.num_particles = self._int(num_particles)
+        self.cutoff = cutoff
+
+    def build(self, gpu) -> LaunchSpec:
+        n = self.num_particles
+        positions = self.rng.rand(n)
+        # Power-law neighbour counts: some particles live in dense regions.
+        counts = np.clip(self.rng.zipf(1.7, size=n), 1, 64).astype(np.int64)
+        row_ptr = np.zeros(n + 1, dtype=np.int64)
+        row_ptr[1:] = np.cumsum(counts)
+        neighbours = self.rng.randint(0, n, size=int(row_ptr[-1]))
+
+        mem = gpu.memory
+        base_pos = mem.alloc_array(positions)
+        base_row = mem.alloc_array(row_ptr.astype(float))
+        base_nbr = mem.alloc_array(neighbours.astype(float))
+        base_force = mem.alloc_array(np.zeros(n))
+
+        b = KernelBuilder("cutoff_force")
+        i = b.sreg(Special.GTID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, i, float(n))
+        with b.if_then(in_range):
+            my_pos = b.ld(b.addr(i, base=base_pos, scale=8))
+            start = b.ld(b.addr(i, base=base_row, scale=8))
+            end = b.ld(b.addr(i, base=base_row, scale=8), offset=8)
+            force = b.const(0.0)
+            j = b.reg()
+            b.mov(j, start)
+            done = b.pred()
+            with b.loop() as lp:
+                b.setp(done, CmpOp.GE, j, end)
+                lp.break_if(done)
+                nbr = b.ld(b.addr(j, base=base_nbr, scale=8))
+                other = b.ld(b.addr(nbr, base=base_pos, scale=8))
+                dist = b.reg()
+                b.sub(dist, other, my_pos)
+                absd = b.reg()
+                b.abs_(absd, dist)
+                near = b.pred()
+                b.setp(near, CmpOp.LT, absd, self.cutoff)
+                with b.if_then(near):
+                    # Linear spring force toward the neighbour.
+                    b.add(force, force, dist)
+                b.add(j, j, 1.0)
+            b.st(b.addr(i, base=base_force, scale=8), force)
+        kernel = b.build()
+
+        def verifier(gpu_):
+            out = gpu_.memory.read_array(base_force, n)
+            expected = np.zeros(n)
+            for p in range(n):
+                for e in range(int(row_ptr[p]), int(row_ptr[p + 1])):
+                    d = positions[neighbours[e]] - positions[p]
+                    if abs(d) < self.cutoff:
+                        expected[p] += d
+            return bool(np.allclose(out, expected))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=(n + 255) // 256,
+            block_dim=256,
+            buffers={"force": base_force},
+            verifier=verifier,
+        )
+
+
+def main() -> None:
+    print("Custom workload: cutoff pair forces with irregular neighbour lists\n")
+    results = {}
+    for scheme in ("rr", "cawa"):
+        gpu = GPU(apply_scheme(GPUConfig.default_sim(), scheme))
+        results[scheme] = CutoffForceWorkload().run(gpu, scheme=scheme)
+        r = results[scheme]
+        print(f"[{scheme:>4}] cycles={r.cycles:>8.0f}  IPC={r.ipc:6.2f}  "
+              f"L1 hit={r.l1_hit_rate:5.1%}  (results verified)")
+    speedup = results["cawa"].ipc / results["rr"].ipc
+    print(f"\nCAWA speedup on this custom workload: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

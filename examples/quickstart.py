@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: write a kernel, launch it, read the results.
+
+Builds a SAXPY kernel with the KernelBuilder DSL, runs it on the simulated
+GPU under the baseline round-robin scheduler and under the full CAWA
+scheme, verifies the numerical output, and prints the performance counters.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GPU, GPUConfig, KernelBuilder, Special, apply_scheme
+
+N = 1024
+ALPHA = 2.5
+
+
+def build_saxpy(x_base: int, y_base: int) -> "object":
+    """y[i] = ALPHA * x[i] + y[i], one thread per element."""
+    b = KernelBuilder("saxpy")
+    i = b.sreg(Special.GTID)
+    x_addr = b.addr(i, base=x_base, scale=8)
+    y_addr = b.addr(i, base=y_base, scale=8)
+    x = b.ld(x_addr)
+    y = b.ld(y_addr)
+    result = b.reg()
+    b.mad(result, x, ALPHA, y)
+    b.st(y_addr, result)
+    return b.build()
+
+
+def run(scheme: str) -> None:
+    config = apply_scheme(GPUConfig.default_sim(), scheme)
+    gpu = GPU(config)
+
+    x = np.linspace(0.0, 1.0, N)
+    y = np.ones(N)
+    x_base = gpu.memory.alloc_array(x)
+    y_base = gpu.memory.alloc_array(y)
+
+    kernel = build_saxpy(x_base, y_base)
+    result = gpu.launch(kernel, grid_dim=N // 256, block_dim=256, scheme=scheme)
+
+    out = gpu.memory.read_array(y_base, N)
+    assert np.allclose(out, ALPHA * x + 1.0), "functional mismatch!"
+
+    print(f"[{scheme:>5}] cycles={result.cycles:>7.0f}  IPC={result.ipc:6.2f}  "
+          f"L1 hit={result.l1_hit_rate:6.1%}  MPKI={result.l1_mpki:6.2f}")
+
+
+def main() -> None:
+    print(f"SAXPY over {N} elements (verified against NumPy):")
+    for scheme in ("rr", "gto", "cawa"):
+        run(scheme)
+    print("\nEvery scheme computes identical results; only timing differs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Visualize warp criticality as an ASCII execution timeline.
+
+Runs the synthetic imbalance microbenchmark (per-warp loop trip counts up
+to 96) under the baseline scheduler and under CAWA, then draws each block's
+per-warp activity strip.  The slow warp's lonely tail beyond its siblings
+IS the warp-criticality problem; comparing schemes shows how scheduling
+reshapes each warp's activity.
+
+Run:  python examples/warp_timeline.py
+"""
+
+from repro import GPU, GPUConfig, apply_scheme
+from repro.stats.timeline import (
+    TimelineProfiler,
+    critical_tail_cycles,
+    render_block_timeline,
+)
+from repro.workloads import make_workload
+
+
+def run(scheme: str):
+    gpu = GPU(apply_scheme(GPUConfig.default_sim(), scheme))
+    profiler = TimelineProfiler()
+    for sm in gpu.sms:
+        sm.issue_observers.append(profiler)
+    make_workload("synthetic_imbalance", max_trips=96).run(gpu, scheme=scheme)
+    return profiler
+
+
+def main() -> None:
+    for scheme in ("rr", "cawa"):
+        profiler = run(scheme)
+        sm_id, block_id = profiler.block_keys()[0]
+        print(f"=== scheme: {scheme} ===")
+        print(render_block_timeline(profiler, sm_id, block_id))
+        tail = critical_tail_cycles(profiler, sm_id, block_id)
+        print(f"critical tail (first-to-last warp finish): {tail:.0f} cycles\n")
+
+
+if __name__ == "__main__":
+    main()

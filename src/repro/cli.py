@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Usage (``python -m repro <command>``)::
+
+    python -m repro list
+    python -m repro run --workload kmeans --scheme cawa
+    python -m repro sweep --workloads bfs,kmeans --schemes rr,gto,cawa
+    python -m repro figure 9
+    python -m repro tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from .config import GPUConfig
+from .core.cawa import SCHEMES
+from .experiments.runner import run_scheme, run_sweep, sweep_table
+from .stats.report import format_table
+from .workloads import NON_SENS_WORKLOADS, SENS_WORKLOADS, workload_names
+
+#: Figure numbers with a dedicated experiment module.
+FIGURES = (1, 2, 3, 4, 9, 10, 11, 12, 13, 14, 15, 16, 17)
+
+
+def _base_config(args) -> GPUConfig:
+    if getattr(args, "fermi", False):
+        return GPUConfig.fermi_gtx480()
+    return GPUConfig.default_sim()
+
+
+def cmd_list(args) -> int:
+    print("Workloads (Table 2):")
+    for name in SENS_WORKLOADS:
+        print(f"  {name:<16} [Sens]")
+    for name in NON_SENS_WORKLOADS:
+        print(f"  {name:<16} [Non-sens]")
+    print("\nSchemes:")
+    for scheme, (scheduler, cacp) in SCHEMES.items():
+        cacp_note = " + CACP" if cacp else ""
+        print(f"  {scheme:<16} scheduler={scheduler}{cacp_note}")
+    print(f"\nFigures: {', '.join(str(f) for f in FIGURES)} (plus 'tables')")
+    return 0
+
+
+def cmd_run(args) -> int:
+    result = run_scheme(
+        args.workload,
+        args.scheme,
+        scale=args.scale,
+        config=_base_config(args),
+        check=not args.no_check,
+        use_cache=False,
+    )
+    print(result.summary())
+    print(
+        f"warp instructions: {result.warp_instructions}, "
+        f"thread instructions: {result.thread_instructions}, "
+        f"DRAM accesses: {result.dram_accesses}"
+    )
+    print(
+        f"L1D: {result.l1_stats.hits}/{result.l1_stats.accesses} hits, "
+        f"critical hit rate {result.critical_hit_rate:.1%}; "
+        f"L2 hit rate {result.l2_stats.hit_rate:.1%}"
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    workloads = args.workloads.split(",") if args.workloads else workload_names()
+    schemes = args.schemes.split(",")
+    results = run_sweep(workloads, schemes, scale=args.scale,
+                        config=_base_config(args))
+    metric = {
+        "ipc": lambda r: round(r.ipc, 3),
+        "mpki": lambda r: round(r.l1_mpki, 2),
+        "cycles": lambda r: int(r.cycles),
+    }[args.metric]
+    print(sweep_table(results, workloads, schemes, metric, "workload"))
+    if args.metric == "ipc" and "rr" in schemes:
+        rows = []
+        for workload in workloads:
+            base = results[(workload, "rr")].ipc
+            rows.append(
+                [workload]
+                + [f"{results[(workload, s)].ipc / base:.2f}x" for s in schemes]
+            )
+        print("\nSpeedup over rr:")
+        print(format_table(["workload"] + schemes, rows))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    if args.number not in FIGURES:
+        print(f"no module for figure {args.number}; available: {FIGURES}",
+              file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.fig{args.number:02d}")
+    data = module.run(scale=args.scale, config=_base_config(args))
+    print(module.render(data))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from .experiments import tables
+
+    print(tables.table1(_base_config(args) if args.fermi else None))
+    print()
+    print(tables.table2())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAWA (ISCA 2015) reproduction: run workloads, schemes, "
+        "and paper figures on the SIMT GPU simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, schemes, and figures")
+
+    p_run = sub.add_parser("run", help="run one workload under one scheme")
+    p_run.add_argument("--workload", required=True,
+                       choices=workload_names(include_synthetic=True))
+    p_run.add_argument("--scheme", default="rr", choices=sorted(SCHEMES))
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--fermi", action="store_true",
+                       help="use the full Table 1 GTX480 configuration (slow)")
+    p_run.add_argument("--no-check", action="store_true",
+                       help="skip functional verification")
+
+    p_sweep = sub.add_parser("sweep", help="run a workload x scheme grid")
+    p_sweep.add_argument("--workloads", default="",
+                         help="comma-separated names (default: all of Table 2)")
+    p_sweep.add_argument("--schemes", default="rr,gto,cawa")
+    p_sweep.add_argument("--metric", default="ipc",
+                         choices=["ipc", "mpki", "cycles"])
+    p_sweep.add_argument("--scale", type=float, default=1.0)
+    p_sweep.add_argument("--fermi", action="store_true")
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure")
+    p_fig.add_argument("number", type=int)
+    p_fig.add_argument("--scale", type=float, default=1.0)
+    p_fig.add_argument("--fermi", action="store_true")
+
+    p_tab = sub.add_parser("tables", help="print Tables 1 and 2")
+    p_tab.add_argument("--fermi", action="store_true")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "figure": cmd_figure,
+        "tables": cmd_tables,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

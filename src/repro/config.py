@@ -1,0 +1,192 @@
+"""Simulator configuration objects.
+
+The reference parameters come from Table 1 of the CAWA paper (NVIDIA Fermi
+GTX480 as configured in GPGPU-sim 3.2.0).  :meth:`GPUConfig.fermi_gtx480`
+reproduces that table verbatim; :meth:`GPUConfig.default_sim` is a scaled-down
+configuration with identical structural ratios that lets the pure-Python
+simulator sweep every experiment in minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy knobs for one cache.
+
+    Attributes:
+        sets: number of cache sets (power of two).
+        ways: associativity.
+        line_size: block size in bytes (power of two).
+        hit_latency: cycles from access to data on a hit.
+        replacement: replacement policy name understood by
+            :func:`repro.memory.replacement.make_policy`
+            (``"lru"``, ``"srrip"``, ``"ship"``).
+        critical_ways: number of ways reserved for the critical partition
+            when the cache runs under CACP (0 disables partitioning).
+        mshr_entries: number of outstanding missed lines tracked.
+    """
+
+    sets: int
+    ways: int
+    line_size: int = 128
+    hit_latency: int = 2
+    replacement: str = "lru"
+    critical_ways: int = 0
+    mshr_entries: int = 32
+
+    def __post_init__(self) -> None:
+        # Set count need not be a power of two (indexing is modulo); the
+        # unified L2's tag array is sets x banks, e.g. 64 x 6 = 384.
+        if self.sets <= 0:
+            raise ConfigError(f"cache sets must be positive, got {self.sets}")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ConfigError(
+                f"cache line size must be a power of two, got {self.line_size}"
+            )
+        if self.ways <= 0:
+            raise ConfigError(f"cache ways must be positive, got {self.ways}")
+        if not 0 <= self.critical_ways <= self.ways:
+            raise ConfigError(
+                f"critical_ways ({self.critical_ways}) must be within "
+                f"[0, ways={self.ways}]"
+            )
+        if self.mshr_entries <= 0:
+            raise ConfigError("mshr_entries must be positive")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.sets * self.ways * self.line_size
+
+    def set_index(self, address: int) -> int:
+        """Map a byte address to its set index."""
+        return (address // self.line_size) % self.sets
+
+    def line_address(self, address: int) -> int:
+        """Align a byte address down to its cache-line address."""
+        return address - (address % self.line_size)
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Whole-GPU configuration (Table 1 of the paper).
+
+    Attributes mirror the rows of Table 1, plus functional-unit latencies the
+    paper inherits from GPGPU-sim defaults.
+    """
+
+    num_sms: int = 15
+    max_warps_per_sm: int = 48
+    max_blocks_per_sm: int = 8
+    num_schedulers_per_sm: int = 2
+    registers_per_sm: int = 32768
+    shared_mem_per_sm: int = 48 * 1024
+    warp_size: int = 32
+
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(sets=8, ways=16, line_size=128)
+    )
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(sets=4, ways=4, line_size=128)
+    )
+    # Table 1: 768KB unified L2, 64 sets x 16 ways x 6 banks.  The tag
+    # array is modeled as one cache of 64*6 = 384 sets; the banks appear as
+    # independent service queues in :class:`repro.memory.l2.BankedL2`.
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(sets=384, ways=16, line_size=128)
+    )
+    l2_banks: int = 6
+    l2_latency: int = 120
+    dram_latency: int = 220
+    dram_service_interval: int = 4
+    l2_service_interval: int = 2
+
+    alu_latency: int = 4
+    sfu_latency: int = 16
+    scheduler_name: str = "lrr"
+    l1d_policy: str = "lru"
+    use_cacp: bool = False
+    #: CACP partition mode: "priority" (logical, default), "static" (the
+    #: paper's strict 8-of-16 way split), or "dynamic" (UCP-style retuned
+    #: split).  See :class:`repro.core.cacp.CACPPolicy`.
+    cacp_mode: str = "priority"
+    #: Extension: bypass L1 allocation for non-critical no-reuse fills.
+    cacp_bypass: bool = False
+    #: Extension: MSHR entries reserved for critical warps.  Non-critical
+    #: warps may not start a new miss unless more than this many entries
+    #: are free, guaranteeing critical warps memory-level parallelism.
+    critical_mshr_reserve: int = 0
+    use_cpl: bool = True
+    cpl_update_period: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ConfigError("num_sms must be positive")
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ConfigError("warp_size must be a power of two")
+        if self.max_warps_per_sm <= 0:
+            raise ConfigError("max_warps_per_sm must be positive")
+        if self.max_blocks_per_sm <= 0:
+            raise ConfigError("max_blocks_per_sm must be positive")
+        if self.num_schedulers_per_sm <= 0:
+            raise ConfigError("num_schedulers_per_sm must be positive")
+        if self.l2_banks <= 0:
+            raise ConfigError("l2_banks must be positive")
+
+    @classmethod
+    def fermi_gtx480(cls, **overrides) -> "GPUConfig":
+        """The exact Table 1 configuration (16KB L1D, 8 sets x 16 ways)."""
+        return cls(**overrides)
+
+    @classmethod
+    def default_sim(cls, **overrides) -> "GPUConfig":
+        """Scaled configuration used for the reproduction experiments.
+
+        Two SMs with 16 warps each keep Python run times tractable while
+        preserving Table 1's structural ratios: the L1D remains 8 sets x
+        16 ways x 128B (16KB) so the per-warp cache pressure matches the
+        paper, and the L2:DRAM latency gap (120:220) is unchanged.
+        """
+        params = dict(
+            num_sms=2,
+            max_warps_per_sm=16,
+            max_blocks_per_sm=4,
+            num_schedulers_per_sm=2,
+            registers_per_sm=32768,
+            # L1D geometry matches Table 1 (16KB, 8 sets x 16 ways x 128B);
+            # the MSHR file scales with the warp count (8 entries for 16
+            # warps vs. the GTX480's 32 for 48) so memory-issue slots stay
+            # a contended resource, as on the real machine.
+            l1d=CacheConfig(sets=8, ways=16, line_size=128, mshr_entries=8),
+            l2=CacheConfig(sets=32, ways=16, line_size=128),
+            l2_banks=2,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    def with_scheduler(self, name: str) -> "GPUConfig":
+        """Return a copy using warp scheduler ``name``."""
+        return replace(self, scheduler_name=name)
+
+    def with_cacp(self, enabled: bool = True, critical_ways: Optional[int] = None) -> "GPUConfig":
+        """Return a copy with CACP cache prioritization toggled.
+
+        When enabling, the L1D is partitioned with ``critical_ways`` ways
+        (default: half of the ways, the paper's sensitivity-analysis optimum).
+        """
+        if enabled:
+            ways = self.l1d.ways // 2 if critical_ways is None else critical_ways
+            l1d = replace(self.l1d, critical_ways=ways)
+        else:
+            l1d = replace(self.l1d, critical_ways=0)
+        return replace(self, use_cacp=enabled, l1d=l1d)
+
+    def with_l1d_policy(self, policy: str) -> "GPUConfig":
+        """Return a copy using L1D replacement policy ``policy``."""
+        return replace(self, l1d_policy=policy)

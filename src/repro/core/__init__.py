@@ -1,0 +1,24 @@
+"""CAWA — the paper's contribution.
+
+Three coordinated components (paper Section 3):
+
+* :class:`~repro.core.cpl.CriticalityPredictor` (CPL) — per-warp criticality
+  counters from branch-path instruction disparity and stall latency (Eq. 1).
+* gCAWS (in :mod:`repro.scheduling.gcaws`) — greedy criticality-aware warp
+  scheduling driven by the CPL counters.
+* :class:`~repro.core.cacp.CACPPolicy` (CACP) — criticality-aware L1D
+  prioritization: way partitioning + CCBP + a modified SHiP (Algorithm 4).
+"""
+
+from .cacp import CACPPolicy
+from .cawa import SCHEMES, apply_scheme
+from .ccbp import CriticalCacheBlockPredictor
+from .cpl import CriticalityPredictor
+
+__all__ = [
+    "CACPPolicy",
+    "CriticalCacheBlockPredictor",
+    "CriticalityPredictor",
+    "SCHEMES",
+    "apply_scheme",
+]

@@ -1,0 +1,49 @@
+"""Named CAWA schemes: config transforms for every scheme the paper evaluates.
+
+A *scheme* bundles a warp scheduler choice with the L1D management choice,
+e.g. ``"cawa"`` = gCAWS + CACP (the full coordinated design), ``"gto+cacp"``
+= the Figure 16/17 sweep point where CACP assists a criticality-oblivious
+scheduler (criticality verdicts still come from CPL, as in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import GPUConfig
+
+#: scheme name -> (scheduler name, use CACP)
+SCHEMES: Dict[str, tuple] = {
+    "rr": ("lrr", False),
+    "gto": ("gto", False),
+    "two_level": ("two_level", False),
+    "caws": ("caws", False),
+    "gcaws": ("gcaws", False),
+    "cawa": ("gcaws", True),
+    "rr+cacp": ("lrr", True),
+    "gto+cacp": ("gto", True),
+    "two_level+cacp": ("two_level", True),
+    # Extension: CAWA plus L1 bypass of non-critical no-reuse fills.
+    "cawa+bypass": ("gcaws", True),
+    # Extension: CAWA plus MSHR entries reserved for critical warps.
+    "cawa+mshr": ("gcaws", True),
+}
+
+
+def apply_scheme(config: GPUConfig, scheme: str) -> GPUConfig:
+    """Return ``config`` reconfigured for the named scheme."""
+    from dataclasses import replace
+
+    try:
+        scheduler, use_cacp = SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; expected one of {sorted(SCHEMES)}"
+        ) from None
+    config = config.with_scheduler(scheduler).with_cacp(use_cacp)
+    if scheme.endswith("+bypass"):
+        config = replace(config, cacp_bypass=True)
+    if scheme.endswith("+mshr"):
+        reserve = max(1, config.l1d.mshr_entries // 4)
+        config = replace(config, critical_mshr_reserve=reserve)
+    return config

@@ -1,0 +1,43 @@
+"""Critical Cache Block Predictor — CCBP (paper Section 3.3).
+
+A simple array of 2-bit saturating counters indexed by the CACP signature
+(xor of the low 8 bits of the inserting PC and of the memory address
+region).  A counter above threshold predicts the incoming block will be
+reused by a critical warp and routes it to the critical cache partition.
+
+Training (Algorithm 4): increment on a critical-warp hit; decrement on
+evicting a block that sat in the critical partition but only saw
+non-critical reuse (a wrong "critical" routing).
+"""
+
+from __future__ import annotations
+
+
+class CriticalCacheBlockPredictor:
+    """2-bit saturating counter table keyed by signature."""
+
+    def __init__(self, table_size: int = 256, threshold: int = 1, counter_max: int = 3,
+                 initial: int = 1) -> None:
+        self.table = [initial] * table_size
+        self.threshold = threshold
+        self.counter_max = counter_max
+        self._table_size = table_size
+
+    def _index(self, signature: int) -> int:
+        return signature % self._table_size
+
+    def predicts_critical(self, signature: int) -> bool:
+        """Should a block with this signature go to the critical partition?"""
+        return self.table[self._index(signature)] > self.threshold
+
+    def train_critical_reuse(self, signature: int) -> None:
+        """A critical warp hit a block with this signature."""
+        idx = self._index(signature)
+        if self.table[idx] < self.counter_max:
+            self.table[idx] += 1
+
+    def train_wrong_routing(self, signature: int) -> None:
+        """A critical-partition block was evicted with only non-critical reuse."""
+        idx = self._index(signature)
+        if self.table[idx] > 0:
+            self.table[idx] -= 1

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the CAWA reproduction simulator."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class KernelBuildError(ReproError):
+    """Raised when a kernel is malformed (bad labels, unbalanced blocks...)."""
+
+
+class KernelValidationError(ReproError):
+    """Raised when a finalized kernel fails static validation."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid simulator configurations."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when no warp can ever make progress again."""
+
+
+class LaunchError(ReproError):
+    """Raised for invalid kernel launch parameters."""

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each ``figNN`` module exposes a ``run(...)`` function that regenerates the
+corresponding figure's data and a ``render(...)`` helper that prints it in
+the paper's row/series layout.  The shared machinery (scheme sweeps, oracle
+construction, result caching) lives in :mod:`repro.experiments.runner`.
+"""
+
+from .runner import build_oracle, run_scheme, run_sweep, sweep_table
+
+__all__ = ["build_oracle", "run_scheme", "run_sweep", "sweep_table"]

@@ -1,0 +1,58 @@
+"""Figure 13 — oracle CAWS vs. gCAWS vs. full CAWA.
+
+Oracle CAWS (offline per-warp execution times) wins on small kernels where
+CPL's online training overhead is relatively large (bfs, b+tree, needle);
+gCAWS/CAWA win on large kernels (heartwall, srad_1) and on kmeans, where
+the greedy scheme's active-warp limiting beats the oracle's pure
+criticality order.  CAWA adds about 5% over gCAWS from cache
+prioritization, with slight regressions on b+tree and strcltr_small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..stats.report import format_table
+from ..workloads import SENS_WORKLOADS
+from .runner import run_scheme
+
+SCHEMES = ["caws", "gcaws", "cawa"]
+
+
+def run(
+    scale: float = 1.0,
+    config=None,
+    workloads: Optional[List[str]] = None,
+) -> Dict[Tuple[str, str], float]:
+    names = workloads or SENS_WORKLOADS
+    data = {}
+    for name in names:
+        base = run_scheme(name, "rr", scale=scale, config=config)
+        for scheme in SCHEMES:
+            result = run_scheme(name, scheme, scale=scale, config=config)
+            data[(name, scheme)] = result.speedup_over(base)
+    return data
+
+
+def render(data: Dict[Tuple[str, str], float]) -> str:
+    names = sorted({name for name, _ in data}, key=SENS_WORKLOADS.index)
+    rows = [
+        [name] + [f"{data[(name, s)]:.2f}x" for s in SCHEMES]
+        for name in names
+    ]
+    means = [
+        sum(data[(n, s)] for n in names) / len(names) for s in SCHEMES
+    ]
+    rows.append(["mean"] + [f"{m:.2f}x" for m in means])
+    return (
+        "Figure 13: oracle CAWS vs gCAWS vs CAWA (speedup over RR)\n"
+        + format_table(["benchmark"] + SCHEMES, rows)
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

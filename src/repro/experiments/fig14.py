@@ -1,0 +1,54 @@
+"""Figure 14 — L1D hit rate of critical-warp requests, normalized to RR.
+
+CACP's explicit prioritization lifts the critical warps' hit rate by 2.46x
+on average (7.22x for kmeans) in the paper, while criticality-oblivious
+schedulers improve it less consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..stats.report import format_table
+from ..workloads import SENS_WORKLOADS
+from .runner import run_scheme
+
+SCHEMES = ["two_level", "gto", "cawa"]
+
+
+def run(
+    scale: float = 1.0,
+    config=None,
+    workloads: Optional[List[str]] = None,
+) -> Dict[Tuple[str, str], float]:
+    names = workloads or SENS_WORKLOADS
+    data = {}
+    for name in names:
+        base = run_scheme(name, "rr", scale=scale, config=config)
+        base_rate = base.critical_hit_rate or 1e-9
+        for scheme in SCHEMES:
+            result = run_scheme(name, scheme, scale=scale, config=config)
+            data[(name, scheme)] = result.critical_hit_rate / base_rate
+    return data
+
+
+def render(data: Dict[Tuple[str, str], float]) -> str:
+    names = sorted({name for name, _ in data}, key=SENS_WORKLOADS.index)
+    rows = [
+        [name] + [f"{data[(name, s)]:.2f}x" for s in SCHEMES]
+        for name in names
+    ]
+    means = [sum(data[(n, s)] for n in names) / len(names) for s in SCHEMES]
+    rows.append(["mean"] + [f"{m:.2f}x" for m in means])
+    return (
+        "Figure 14: critical-warp L1D hit rate normalized to baseline RR\n"
+        + format_table(["benchmark"] + SCHEMES, rows)
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,65 @@
+"""Figure 16 — L1D MPKI when CACP assists each warp scheduler.
+
+CACP is scheduler-independent (it consumes CPL's criticality verdicts), so
+the paper applies it under RR, GTO, and the 2-level scheduler and measures
+the MPKI reduction in each pairing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..stats.report import format_table
+from ..workloads import SENS_WORKLOADS
+from .runner import run_scheme
+
+PAIRINGS = [
+    ("rr", "rr+cacp"),
+    ("gto", "gto+cacp"),
+    ("two_level", "two_level+cacp"),
+    ("gcaws", "cawa"),
+]
+
+
+def run(
+    scale: float = 1.0,
+    config=None,
+    workloads: Optional[List[str]] = None,
+    metric: str = "mpki",
+) -> Dict[Tuple[str, str], float]:
+    """Per (workload, scheme) metric for every scheduler with/without CACP.
+
+    ``metric`` is ``"mpki"`` (Figure 16) or ``"ipc"`` (Figure 17).
+    """
+    names = workloads or SENS_WORKLOADS
+    data = {}
+    for name in names:
+        for base_scheme, cacp_scheme in PAIRINGS:
+            for scheme in (base_scheme, cacp_scheme):
+                result = run_scheme(name, scheme, scale=scale, config=config)
+                value = result.l1_mpki if metric == "mpki" else result.ipc
+                data[(name, scheme)] = value
+    return data
+
+
+def render(data: Dict[Tuple[str, str], float], metric: str = "mpki") -> str:
+    names = sorted({name for name, _ in data}, key=SENS_WORKLOADS.index)
+    schemes: List[str] = []
+    for pair in PAIRINGS:
+        schemes.extend(pair)
+    rows = [
+        [name] + [f"{data[(name, s)]:.2f}" for s in schemes]
+        for name in names
+    ]
+    title = "Figure 16: L1D MPKI" if metric == "mpki" else "Figure 17: IPC"
+    return f"{title} with CACP under different schedulers\n" + format_table(
+        ["benchmark"] + schemes, rows
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,135 @@
+"""Shared experiment machinery: scheme runs, sweeps, and the CAWS oracle.
+
+Results are memoized per process keyed on (workload, scheme, scale,
+observer set), because several figures slice the same underlying sweep
+(e.g. Fig 9's IPC and Fig 10's MPKI come from identical runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import GPUConfig
+from ..core.cawa import apply_scheme
+from ..gpu import GPU
+from ..stats.accuracy import CriticalityAccuracyTracker
+from ..stats.counters import RunResult
+from ..stats.report import format_table
+from ..stats.reuse import ReuseDistanceProfiler
+from ..workloads import make_workload
+
+_CACHE: Dict[Tuple, RunResult] = {}
+_ORACLE_CACHE: Dict[Tuple, Dict] = {}
+
+
+def build_oracle(workload: str, scale: float = 1.0, config: Optional[GPUConfig] = None) -> Dict:
+    """Profile per-warp execution times for the oracle CAWS scheduler.
+
+    Runs the workload once under the baseline RR scheduler and records each
+    warp's measured execution time, keyed by (block_id, warp_id_in_block) —
+    the offline knowledge the paper says CAWS requires.
+    """
+    key = (workload, scale)
+    if key in _ORACLE_CACHE:
+        return _ORACLE_CACHE[key]
+    result = run_scheme(workload, "rr", scale=scale, config=config)
+    oracle: Dict[Tuple[int, int], float] = {}
+    for block in result.blocks:
+        for warp in block.warps:
+            oracle[(block.block_id, warp.warp_id_in_block)] = warp.execution_time
+    _ORACLE_CACHE[key] = oracle
+    return oracle
+
+
+def run_scheme(
+    workload: str,
+    scheme: str,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    check: bool = True,
+    with_accuracy: bool = False,
+    with_reuse: bool = False,
+    use_cache: bool = True,
+    observers: Optional[list] = None,
+    **workload_kwargs,
+) -> RunResult:
+    """Run one (workload, scheme) cell and return its :class:`RunResult`.
+
+    ``with_accuracy`` attaches the Fig 11 CPL accuracy tracker;
+    ``with_reuse`` attaches the Fig 3 reuse-distance profiler.  Their
+    outputs land in ``result.extra``.  ``observers`` are additional SM
+    issue observers (e.g. the Fig 12 priority tracer).
+    """
+    key = (workload, scheme, scale, with_accuracy, with_reuse,
+           tuple(sorted(workload_kwargs.items())))
+    if use_cache and not workload_kwargs and observers is None and key in _CACHE:
+        return _CACHE[key]
+
+    base = config or GPUConfig.default_sim()
+    cfg = apply_scheme(base, scheme)
+    oracle = build_oracle(workload, scale, config) if cfg.scheduler_name == "caws" else None
+    gpu = GPU(cfg, oracle=oracle)
+
+    accuracy_tracker = None
+    if with_accuracy:
+        accuracy_tracker = CriticalityAccuracyTracker()
+        for sm in gpu.sms:
+            sm.issue_observers.append(accuracy_tracker)
+    reuse_profiler = None
+    if with_reuse:
+        reuse_profiler = ReuseDistanceProfiler()
+        for sm in gpu.sms:
+            sm.l1d.observers.append(reuse_profiler)
+    for observer in observers or ():
+        for sm in gpu.sms:
+            sm.issue_observers.append(observer)
+
+    wl = make_workload(workload, scale=scale, **workload_kwargs)
+    result = wl.run(gpu, scheme=scheme, check=check)
+    if accuracy_tracker is not None:
+        result.extra["cpl_accuracy"] = accuracy_tracker.accuracy(result)
+    if reuse_profiler is not None:
+        result.extra["reuse_profiler"] = reuse_profiler
+    if use_cache and not workload_kwargs and observers is None:
+        _CACHE[key] = result
+    return result
+
+
+def run_sweep(
+    workloads: Iterable[str],
+    schemes: Iterable[str],
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    **kwargs,
+) -> Dict[Tuple[str, str], RunResult]:
+    """Run the full (workload x scheme) grid."""
+    results = {}
+    for workload in workloads:
+        for scheme in schemes:
+            results[(workload, scheme)] = run_scheme(
+                workload, scheme, scale=scale, config=config, **kwargs
+            )
+    return results
+
+
+def sweep_table(
+    results: Dict[Tuple[str, str], RunResult],
+    workloads: List[str],
+    schemes: List[str],
+    metric,
+    header: str,
+) -> str:
+    """Render a sweep as a workload-by-scheme text table."""
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for scheme in schemes:
+            row.append(metric(results[(workload, scheme)]))
+        rows.append(row)
+    return format_table([header] + schemes, rows)
+
+
+def clear_cache() -> None:
+    """Drop memoized results (tests use this for isolation)."""
+    _CACHE.clear()
+    _ORACLE_CACHE.clear()

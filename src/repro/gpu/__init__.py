@@ -1,0 +1,5 @@
+"""Top-level GPU device model and kernel-launch API."""
+
+from .gpu import GPU
+
+__all__ = ["GPU"]

@@ -1,0 +1,194 @@
+"""The GPU device: SMs, shared L2 + DRAM, dispatcher, and the run loop.
+
+The run loop is cycle-based with idle skipping: every completion time is
+known the moment an instruction issues (scoreboard entries and memory walk
+results are future cycles), so when no warp can issue the loop jumps
+directly to the earliest wake-up — semantics are identical to ticking every
+cycle, minus the Python overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from ..config import GPUConfig
+from ..core.cacp import CACPPolicy
+from ..core.cpl import CriticalityPredictor
+from ..errors import DeadlockError, LaunchError
+from ..memory.data import GlobalMemory
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.replacement import make_policy
+from ..scheduling.registry import make_scheduler
+from ..simt.executor import FunctionalExecutor
+from ..sm.dispatcher import BlockDispatcher
+from ..sm.sm import StreamingMultiprocessor
+from ..stats.counters import RunResult, merge_cache_stats, replace_stats, subtract_stats
+
+
+class GPU:
+    """A simulated GPU devoted to one kernel launch at a time.
+
+    Typical use::
+
+        gpu = GPU(GPUConfig.default_sim().with_scheduler("gcaws"))
+        base = gpu.memory.alloc_array(input_data)
+        result = gpu.launch(kernel, grid_dim=8, block_dim=256)
+        output = gpu.memory.read_array(base, len(input_data))
+    """
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        oracle: Optional[dict] = None,
+        max_cycles: float = 5e7,
+    ) -> None:
+        self.config = config or GPUConfig.default_sim()
+        self.memory = GlobalMemory()
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.max_cycles = max_cycles
+        self._oracle = oracle
+        #: Device clock, persistent across launches: resource timestamps
+        #: (DRAM/L2 queues, MSHR completions, scoreboards) are absolute, so
+        #: a second launch must start where the first one ended.
+        self.now: float = 0.0
+        executor = FunctionalExecutor(self.memory, self.config.warp_size)
+        self.sms: List[StreamingMultiprocessor] = []
+        for sm_id in range(self.config.num_sms):
+            cpl = (
+                CriticalityPredictor(self.config.cpl_update_period)
+                if self.config.use_cpl
+                else None
+            )
+            self.sms.append(
+                StreamingMultiprocessor(
+                    sm_id=sm_id,
+                    config=self.config,
+                    hierarchy=self.hierarchy,
+                    executor=executor,
+                    scheduler_factory=self._scheduler_factory,
+                    l1_policy_factory=self._l1_policy_factory,
+                    cpl=cpl,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _scheduler_factory(self):
+        name = self.config.scheduler_name
+        if name == "caws":
+            return make_scheduler(name, oracle=self._oracle)
+        return make_scheduler(name)
+
+    def _l1_policy_factory(self):
+        if self.config.use_cacp:
+            critical_ways = self.config.l1d.critical_ways or self.config.l1d.ways // 2
+            return CACPPolicy(
+                critical_ways=critical_ways,
+                total_ways=self.config.l1d.ways,
+                mode=self.config.cacp_mode,
+                bypass_no_reuse=self.config.cacp_bypass,
+            )
+        if self.config.l1d_policy == "drrip":
+            return make_policy(
+                "drrip",
+                sets=self.config.l1d.sets,
+                line_size=self.config.l1d.line_size,
+            )
+        return make_policy(self.config.l1d_policy)
+
+    # ------------------------------------------------------------------
+    def launch(self, kernel, grid_dim: int, block_dim: int, scheme: str = "") -> RunResult:
+        """Run ``kernel`` over ``grid_dim`` blocks of ``block_dim`` threads."""
+        if grid_dim <= 0 or block_dim <= 0:
+            raise LaunchError("grid_dim and block_dim must be positive")
+        warps_per_block = (block_dim + self.config.warp_size - 1) // self.config.warp_size
+        if warps_per_block > self.config.max_warps_per_sm:
+            raise LaunchError(
+                f"block of {block_dim} threads needs {warps_per_block} warps, "
+                f"more than the SM limit of {self.config.max_warps_per_sm}"
+            )
+        if kernel.num_regs * block_dim > self.config.registers_per_sm:
+            raise LaunchError(
+                f"block needs {kernel.num_regs * block_dim} registers, more "
+                f"than the SM's {self.config.registers_per_sm}"
+            )
+
+        dispatcher = BlockDispatcher(kernel, grid_dim, block_dim, self.config.warp_size)
+        start_cycle = self.now
+        cycle = start_cycle
+        snapshots = self._snapshot_stats()
+        dispatcher.try_dispatch(self.sms, cycle)
+        committed_before = 0
+
+        while True:
+            issued = False
+            for sm in self.sms:
+                if sm.tick(cycle):
+                    issued = True
+
+            committed = sum(sm.stats.blocks_committed for sm in self.sms)
+            if committed != committed_before:
+                committed_before = committed
+                if not dispatcher.exhausted:
+                    dispatcher.try_dispatch(self.sms, cycle + 1)
+
+            busy = any(sm.busy for sm in self.sms)
+            if not busy and dispatcher.exhausted:
+                break
+
+            if issued:
+                cycle += 1
+            else:
+                wake = min(sm.next_wake_time(cycle) for sm in self.sms)
+                if math.isinf(wake):
+                    for sm in self.sms:
+                        sm.detect_deadlock(cycle)
+                    raise DeadlockError("no warp can make progress")
+                cycle = max(cycle + 1, wake)
+
+            if cycle - start_cycle > self.max_cycles:
+                raise DeadlockError(
+                    f"simulation exceeded {self.max_cycles:.0f} cycles; "
+                    "likely a runaway kernel"
+                )
+
+        self.now = cycle + 1
+        return self._collect(kernel.name, scheme, cycle - start_cycle, snapshots)
+
+    # ------------------------------------------------------------------
+    def _snapshot_stats(self):
+        """Capture cumulative counters so per-launch deltas can be reported."""
+        return {
+            "thread_instructions": sum(s.stats.thread_instructions for s in self.sms),
+            "warp_instructions": sum(s.stats.warp_instructions for s in self.sms),
+            "blocks": [len(s.completed_blocks) for s in self.sms],
+            "l1": [replace_stats(s.l1d.stats) for s in self.sms],
+            "l2": replace_stats(self.hierarchy.l2.stats),
+            "dram": self.hierarchy.dram.accesses,
+        }
+
+    def _collect(self, kernel_name: str, scheme: str, cycles: float, snap) -> RunResult:
+        blocks = []
+        for sm, done_before in zip(self.sms, snap["blocks"]):
+            blocks.extend(sm.completed_blocks[done_before:])
+        blocks.sort(key=lambda b: b.block_id)
+        l1_now = merge_cache_stats([sm.l1d.stats for sm in self.sms])
+        l1_before = merge_cache_stats(snap["l1"])
+        return RunResult(
+            kernel_name=kernel_name,
+            scheme=scheme or self.config.scheduler_name,
+            cycles=cycles,
+            thread_instructions=(
+                sum(sm.stats.thread_instructions for sm in self.sms)
+                - snap["thread_instructions"]
+            ),
+            warp_instructions=(
+                sum(sm.stats.warp_instructions for sm in self.sms)
+                - snap["warp_instructions"]
+            ),
+            l1_stats=subtract_stats(l1_now, l1_before),
+            l2_stats=subtract_stats(self.hierarchy.l2.stats, snap["l2"]),
+            blocks=blocks,
+            dram_accesses=self.hierarchy.dram.accesses - snap["dram"],
+            warp_size=self.config.warp_size,
+        )

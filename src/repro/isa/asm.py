@@ -1,0 +1,342 @@
+"""Textual assembly format for kernels: format and parse.
+
+A simple PTX-flavoured line syntax so kernels can live in ``.s`` files,
+be diffed, and be written without the builder DSL::
+
+    .kernel saxpy
+    .regs 5
+    .preds 1
+        sreg r0, gtid
+        setp.lt p0, r0, #1024
+    @!p0 bra end, reconv=end
+        ld r1, [r0 + 0]
+        add r2, r1, #1.0
+        st [r0 + 8], r2
+    end:
+        reconv
+        exit
+
+:func:`format_kernel` and :func:`parse_kernel` round-trip exactly
+(``parse(format(k))`` yields an instruction-for-instruction equal kernel).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import KernelBuildError
+from .instructions import CmpOp, Instruction, MemSpace, Opcode, Special
+from .kernel import Kernel
+from .program import validate_kernel
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_DIRECTIVE_RE = re.compile(r"^\.(kernel|regs|preds|shared)\s+(\S+)$")
+_GUARD_RE = re.compile(r"^@(!?)p(\d+)\s+(.*)$")
+_MEM_RE = re.compile(r"^\[\s*r(\d+)\s*([+-]\s*\d+)?\s*\]$")
+
+
+def _fmt_imm(value: float) -> str:
+    if value == int(value):
+        return f"#{int(value)}"
+    return f"#{value!r}"
+
+
+def _fmt_operands(inst: Instruction) -> str:
+    parts = []
+    if inst.op is Opcode.SETP:
+        parts.append(f"p{inst.dst}")
+    elif inst.dst is not None:
+        parts.append(f"r{inst.dst}")
+    parts.extend(f"r{s}" for s in inst.srcs)
+    if inst.imm is not None:
+        parts.append(_fmt_imm(inst.imm))
+    return ", ".join(parts)
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render ``kernel`` in the assembly syntax (parseable)."""
+    pc_labels: Dict[int, List[str]] = {}
+    for label, pc in kernel.labels.items():
+        pc_labels.setdefault(pc, []).append(label)
+    # Branches may reference PCs with no label (hand-built kernels): invent.
+    synth: Dict[int, str] = {}
+
+    def label_for(pc: int) -> str:
+        for name in pc_labels.get(pc, ()):
+            return name
+        if pc not in synth:
+            synth[pc] = f"L{pc}"
+            pc_labels.setdefault(pc, []).append(synth[pc])
+        return synth[pc]
+
+    body: List[str] = []
+    for inst in kernel.instructions:
+        guard = ""
+        if inst.pred is not None and inst.op is not Opcode.SELP:
+            guard = f"@{'!' if inst.pred_neg else ''}p{inst.pred} "
+        op = inst.op
+        if op is Opcode.BRA:
+            text = f"bra {label_for(inst.target_pc)}"
+            if inst.pred is not None:
+                text += f", reconv={label_for(inst.reconv_pc)}"
+        elif op is Opcode.SETP:
+            operands = _fmt_operands(inst)
+            text = f"setp.{inst.cmp.value} {operands}"
+        elif op is Opcode.SELP:
+            operands = _fmt_operands(inst)
+            text = f"selp {operands}, p{inst.pred}"
+        elif op is Opcode.SREG:
+            text = f"sreg r{inst.dst}, {inst.special.value}"
+        elif op in (Opcode.LD, Opcode.ST):
+            suffix = ".shared" if inst.space is MemSpace.SHARED else ""
+            offset = int(inst.imm or 0)
+            sign = "+" if offset >= 0 else "-"
+            addr = f"[r{inst.srcs[0]} {sign} {abs(offset)}]"
+            if op is Opcode.LD:
+                text = f"ld{suffix} r{inst.dst}, {addr}"
+            else:
+                text = f"st{suffix} {addr}, r{inst.srcs[1]}"
+        elif op in (Opcode.NOP, Opcode.RECONV, Opcode.BAR, Opcode.EXIT):
+            text = op.value
+        else:
+            text = f"{op.value} {_fmt_operands(inst)}"
+        body.append((inst.pc, guard + text))
+
+    lines = [
+        f".kernel {kernel.name}",
+        f".regs {kernel.num_regs}",
+        f".preds {kernel.num_preds}",
+        f".shared {kernel.shared_mem_bytes}",
+    ]
+    for pc, text in body:
+        for label in sorted(pc_labels.get(pc, ())):
+            lines.append(f"{label}:")
+        lines.append(f"    {text}")
+    # Labels that bind one past the final instruction.
+    tail = len(kernel.instructions)
+    for label in sorted(pc_labels.get(tail, ())):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"
+
+
+_OPCODES = {op.value: op for op in Opcode}
+_SPECIALS = {sp.value: sp for sp in Special}
+_CMPS = {cmp.value: cmp for cmp in CmpOp}
+
+
+def _parse_operand(token: str) -> Tuple[str, float]:
+    token = token.strip()
+    if token.startswith("r") and token[1:].isdigit():
+        return "reg", int(token[1:])
+    if token.startswith("p") and token[1:].isdigit():
+        return "pred", int(token[1:])
+    if token.startswith("#"):
+        return "imm", float(token[1:])
+    raise KernelBuildError(f"bad operand {token!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    return [t.strip() for t in text.split(",") if t.strip()]
+
+
+def parse_kernel(text: str) -> Kernel:
+    """Parse assembly ``text`` into a validated :class:`Kernel`."""
+    name = "kernel"
+    num_regs = num_preds = None
+    shared = 0
+    raw: List[Tuple[Optional[Tuple[bool, int]], str]] = []  # (guard, text)
+    labels: Dict[str, int] = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if m := _DIRECTIVE_RE.match(line):
+            key, value = m.groups()
+            if key == "kernel":
+                name = value
+            elif key == "regs":
+                num_regs = int(value)
+            elif key == "preds":
+                num_preds = int(value)
+            else:
+                shared = int(value)
+            continue
+        if m := _LABEL_RE.match(line):
+            label = m.group(1)
+            if label in labels:
+                raise KernelBuildError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(raw)
+            continue
+        guard = None
+        if m := _GUARD_RE.match(line):
+            neg, pred, line = m.groups()
+            guard = (neg == "!", int(pred))
+        raw.append((guard, line))
+
+    instructions: List[Instruction] = []
+    pending: List[Tuple[int, str, str]] = []  # (pc, target_label, reconv_label)
+
+    for pc, (guard, line) in enumerate(raw):
+        mnemonic, _, rest = line.partition(" ")
+        rest = rest.strip()
+        inst = _parse_instruction(mnemonic, rest, guard, pc, pending)
+        instructions.append(inst)
+
+    # Resolve branch labels.
+    for pc, target_label, reconv_label in pending:
+        if target_label not in labels:
+            raise KernelBuildError(f"undefined label {target_label!r}")
+        target_pc = labels[target_label]
+        reconv_pc = -1
+        if reconv_label is not None:
+            if reconv_label not in labels:
+                raise KernelBuildError(f"undefined label {reconv_label!r}")
+            reconv_pc = labels[reconv_label]
+        instructions[pc] = replace(
+            instructions[pc],
+            target=target_label,
+            reconv=reconv_label,
+            target_pc=target_pc,
+            reconv_pc=reconv_pc,
+        )
+
+    if num_regs is None:
+        num_regs = 1 + max(
+            [i.dst for i in instructions if i.writes_register] +
+            [s for i in instructions for s in i.srcs] + [0]
+        )
+    if num_preds is None:
+        preds = [i.dst for i in instructions if i.writes_predicate]
+        preds += [i.pred for i in instructions if i.pred is not None]
+        num_preds = 1 + max(preds, default=0)
+
+    kernel = Kernel(
+        name=name,
+        instructions=instructions,
+        labels=labels,
+        num_regs=num_regs,
+        num_preds=num_preds,
+        shared_mem_bytes=shared,
+    )
+    validate_kernel(kernel)
+    return kernel
+
+
+def _parse_instruction(mnemonic, rest, guard, pc, pending) -> Instruction:
+    pred, pred_neg = (guard[1], guard[0]) if guard else (None, False)
+    space = MemSpace.GLOBAL
+    if mnemonic.endswith(".shared"):
+        mnemonic, space = mnemonic[: -len(".shared")], MemSpace.SHARED
+
+    if mnemonic == "bra":
+        parts = _split_operands(rest)
+        target = parts[0]
+        reconv = None
+        for extra in parts[1:]:
+            key, _, value = extra.partition("=")
+            if key.strip() == "reconv":
+                reconv = value.strip()
+        pending.append((pc, target, reconv))
+        return replace(
+            Instruction(Opcode.BRA, pred=pred, pred_neg=pred_neg), pc=pc
+        )
+
+    if mnemonic.startswith("setp."):
+        cmp_name = mnemonic.split(".", 1)[1]
+        if cmp_name not in _CMPS:
+            raise KernelBuildError(f"unknown comparison {cmp_name!r}")
+        operands = [_parse_operand(t) for t in _split_operands(rest)]
+        (dkind, dst), *src_ops = operands
+        if dkind != "pred":
+            raise KernelBuildError("setp destination must be a predicate")
+        srcs = tuple(int(v) for k, v in src_ops if k == "reg")
+        imms = [v for k, v in src_ops if k == "imm"]
+        return replace(
+            Instruction(Opcode.SETP, dst=int(dst), srcs=srcs,
+                        imm=imms[0] if imms else None, cmp=_CMPS[cmp_name]),
+            pc=pc,
+        )
+
+    if mnemonic == "selp":
+        operands = _split_operands(rest)
+        (_, dst) = _parse_operand(operands[0])
+        selector = _parse_operand(operands[-1])
+        if selector[0] != "pred":
+            raise KernelBuildError("selp selector must be a predicate")
+        srcs, imm = [], None
+        for token in operands[1:-1]:
+            kind, value = _parse_operand(token)
+            if kind == "reg":
+                srcs.append(int(value))
+            else:
+                imm = value
+        return replace(
+            Instruction(Opcode.SELP, dst=int(dst), srcs=tuple(srcs), imm=imm,
+                        pred=int(selector[1])),
+            pc=pc,
+        )
+
+    if mnemonic == "sreg":
+        dst_token, special_name = _split_operands(rest)
+        (_, dst) = _parse_operand(dst_token)
+        if special_name not in _SPECIALS:
+            raise KernelBuildError(f"unknown special {special_name!r}")
+        return replace(
+            Instruction(Opcode.SREG, dst=int(dst), special=_SPECIALS[special_name]),
+            pc=pc,
+        )
+
+    if mnemonic in ("ld", "st"):
+        parts = _split_operands(rest)
+        if mnemonic == "ld":
+            (_, dst) = _parse_operand(parts[0])
+            m = _MEM_RE.match(parts[1])
+            if not m:
+                raise KernelBuildError(f"bad address {parts[1]!r}")
+            base, offset = m.groups()
+            return replace(
+                Instruction(
+                    Opcode.LD, dst=int(dst), srcs=(int(base),),
+                    imm=float((offset or "0").replace(" ", "")),
+                    space=space, pred=pred, pred_neg=pred_neg,
+                ),
+                pc=pc,
+            )
+        m = _MEM_RE.match(parts[0])
+        if not m:
+            raise KernelBuildError(f"bad address {parts[0]!r}")
+        base, offset = m.groups()
+        (_, src) = _parse_operand(parts[1])
+        return replace(
+            Instruction(
+                Opcode.ST, srcs=(int(base), int(src)),
+                imm=float((offset or "0").replace(" ", "")),
+                space=space, pred=pred, pred_neg=pred_neg,
+            ),
+            pc=pc,
+        )
+
+    if mnemonic in ("nop", "reconv", "bar", "exit"):
+        return replace(
+            Instruction(_OPCODES[mnemonic], pred=pred, pred_neg=pred_neg), pc=pc
+        )
+
+    if mnemonic in _OPCODES:
+        operands = [_parse_operand(t) for t in _split_operands(rest)]
+        (dkind, dst), *src_ops = operands
+        if dkind != "reg":
+            raise KernelBuildError(f"{mnemonic} destination must be a register")
+        srcs = tuple(int(v) for k, v in src_ops if k == "reg")
+        imms = [v for k, v in src_ops if k == "imm"]
+        return replace(
+            Instruction(
+                _OPCODES[mnemonic], dst=int(dst), srcs=srcs,
+                imm=imms[0] if imms else None, pred=pred, pred_neg=pred_neg,
+            ),
+            pc=pc,
+        )
+
+    raise KernelBuildError(f"unknown mnemonic {mnemonic!r}")

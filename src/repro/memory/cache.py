@@ -1,0 +1,192 @@
+"""Set-associative cache with pluggable replacement/partitioning policies.
+
+The cache models tags and replacement state only (data is functionally
+served by :class:`~repro.memory.data.GlobalMemory`).  Policies control the
+fill-way choice within a way range, which is how CACP's critical/non-critical
+partitioning plugs in without the cache knowing about criticality.
+
+Observers can subscribe to access/evict events; the reuse-distance profiler
+(Fig 3) and zero-reuse accounting (Fig 15) are implemented that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..config import CacheConfig
+from .replacement import ReplacementPolicy
+from .request import MemRequest
+
+
+@dataclass
+class CacheLine:
+    """Tag-array entry plus policy and CAWA bookkeeping state."""
+
+    valid: bool = False
+    tag: int = -1
+    line_addr: int = -1
+    # Replacement-policy state.
+    last_use: int = 0
+    rrpv: int = 0
+    signature: int = 0
+    # Reuse bookkeeping.
+    reuse_count: int = 0
+    filled_by_critical: bool = False
+    fill_pc: int = -1
+    fill_cycle: float = 0.0
+    # CACP per-line flags (Algorithm 4).
+    c_reuse: bool = False
+    nc_reuse: bool = False
+    in_critical_partition: bool = False
+
+    @property
+    def reused(self) -> bool:
+        return self.reuse_count > 0
+
+    def reset_for_fill(self, line_addr: int, req: MemRequest) -> None:
+        self.valid = True
+        self.tag = line_addr
+        self.line_addr = line_addr
+        self.reuse_count = 0
+        self.filled_by_critical = req.is_critical
+        self.fill_pc = req.pc
+        self.fill_cycle = req.cycle
+        self.c_reuse = False
+        self.nc_reuse = False
+        self.signature = req.signature
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    critical_accesses: int = 0
+    critical_hits: int = 0
+    evictions: int = 0
+    zero_reuse_evictions: int = 0
+    critical_fill_evictions: int = 0
+    critical_zero_reuse_evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def critical_hit_rate(self) -> float:
+        if not self.critical_accesses:
+            return 0.0
+        return self.critical_hits / self.critical_accesses
+
+    @property
+    def zero_reuse_fraction(self) -> float:
+        if not self.evictions:
+            return 0.0
+        return self.zero_reuse_evictions / self.evictions
+
+    @property
+    def critical_zero_reuse_fraction(self) -> float:
+        if not self.critical_fill_evictions:
+            return 0.0
+        return self.critical_zero_reuse_evictions / self.critical_fill_evictions
+
+
+class Cache:
+    """One set-associative cache level."""
+
+    def __init__(self, config: CacheConfig, policy: ReplacementPolicy) -> None:
+        self.config = config
+        self.policy = policy
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(config.ways)] for _ in range(config.sets)
+        ]
+        self.stats = CacheStats()
+        self.observers: List = []
+
+    # ------------------------------------------------------------------
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        """Tag probe without side effects (no stats, no promotion)."""
+        for line in self._sets[self.config.set_index(line_addr)]:
+            if line.valid and line.tag == line_addr:
+                return line
+        return None
+
+    def access(self, req: MemRequest) -> bool:
+        """Probe + fill-on-miss; returns True on hit.
+
+        Stores are modeled write-through / write-allocate: they probe and
+        fill like loads (GPU L1s in GPGPU-sim's Fermi config evict on write;
+        allocating keeps the model simple and preserves the contention the
+        paper studies).
+        """
+        lines = self._sets[self.config.set_index(req.line_addr)]
+        self.stats.accesses += 1
+        if req.is_critical:
+            self.stats.critical_accesses += 1
+
+        for line in lines:
+            if line.valid and line.tag == req.line_addr:
+                self.stats.hits += 1
+                if req.is_critical:
+                    self.stats.critical_hits += 1
+                line.reuse_count += 1
+                self.policy.on_hit(line, req)
+                for obs in self.observers:
+                    obs.on_access(req, hit=True, line=line)
+                return True
+
+        self.stats.misses += 1
+        if getattr(self.policy, "should_bypass", None) and self.policy.should_bypass(req):
+            # Bypass: the request is serviced from L2/DRAM without
+            # allocating a line, so it cannot evict useful data.
+            self.stats.bypasses += 1
+        else:
+            self._fill(lines, req)
+        for obs in self.observers:
+            obs.on_access(req, hit=False, line=None)
+        return False
+
+    def _fill(self, lines: List[CacheLine], req: MemRequest) -> None:
+        lo, hi = self.policy.way_range(lines, req, self.config.ways)
+        way = self.policy.choose_way(lines, req, lo, hi)
+        line = lines[way]
+        if line.valid:
+            self._evict(line, req)
+        line.reset_for_fill(req.line_addr, req)
+        # The policy may retune its partition at runtime, so prefer its
+        # current boundary over the static config value.
+        boundary = getattr(self.policy, "critical_ways", self.config.critical_ways)
+        line.in_critical_partition = way < boundary
+        self.policy.on_fill(line, req)
+
+    def _evict(self, line: CacheLine, req: MemRequest) -> None:
+        self.stats.evictions += 1
+        if line.reuse_count == 0:
+            self.stats.zero_reuse_evictions += 1
+        if line.filled_by_critical:
+            self.stats.critical_fill_evictions += 1
+            if line.reuse_count == 0:
+                self.stats.critical_zero_reuse_evictions += 1
+        self.policy.on_evict(line, req)
+        for obs in self.observers:
+            obs.on_evict(line)
+
+    def invalidate_all(self) -> None:
+        """Drop all lines (used between kernel launches in tests)."""
+        for lines in self._sets:
+            for line in lines:
+                line.valid = False
+                line.tag = -1
+
+    def occupancy(self) -> float:
+        total = self.config.sets * self.config.ways
+        valid = sum(1 for lines in self._sets for line in lines if line.valid)
+        return valid / total

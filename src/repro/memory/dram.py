@@ -1,0 +1,32 @@
+"""DRAM timing model: minimum access latency plus bandwidth queueing."""
+
+from __future__ import annotations
+
+
+class DRAMModel:
+    """Single-channel DRAM with a fixed minimum latency.
+
+    Each request occupies the channel for ``service_interval`` cycles, so
+    bursts of misses queue up behind each other — the bandwidth contention
+    that memory-intensive workloads like kmeans expose.
+    """
+
+    def __init__(self, latency: int, service_interval: int) -> None:
+        self.latency = latency
+        self.service_interval = service_interval
+        self._next_free = 0.0
+        self.accesses = 0
+        self.busy_cycles = 0.0
+
+    def access(self, now: float) -> float:
+        """Completion time of a request arriving at ``now``."""
+        start = max(now, self._next_free)
+        self._next_free = start + self.service_interval
+        self.accesses += 1
+        self.busy_cycles += self.service_interval
+        return start + self.latency
+
+    @property
+    def queue_delay_estimate(self) -> float:
+        """Mean service occupancy (diagnostics only)."""
+        return self.busy_cycles / self.accesses if self.accesses else 0.0

@@ -1,0 +1,62 @@
+"""Composition of the full memory hierarchy's timing path.
+
+One :class:`MemoryHierarchy` serves every SM: it owns the shared L2 and the
+DRAM model, while each SM brings its own L1 data cache + MSHR file.  The
+timing walk happens at access time — hit/miss outcomes and queueing delays
+compose into a single completion cycle the LSU writes into the warp's
+scoreboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GPUConfig
+from .cache import Cache
+from .l2 import BankedL2
+from .dram import DRAMModel
+from .mshr import MSHRFile
+from .request import MemRequest
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one line access through the hierarchy."""
+
+    l1_hit: bool
+    completion: float
+    merged: bool = False
+
+
+class MemoryHierarchy:
+    """Shared L2 + DRAM; L1s are owned by SMs and passed per access."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.l2 = BankedL2(
+            config.l2,
+            num_banks=config.l2_banks,
+            latency=config.l2_latency,
+            service_interval=config.l2_service_interval,
+        )
+        self.dram = DRAMModel(config.dram_latency, config.dram_service_interval)
+
+    def access(self, l1: Cache, mshr: MSHRFile, req: MemRequest, now: float) -> AccessOutcome:
+        """Walk ``req`` through L1 -> (MSHR) -> L2 -> DRAM; returns timing."""
+        l1_latency = l1.config.hit_latency
+        hit = l1.access(req)
+        if hit:
+            return AccessOutcome(l1_hit=True, completion=now + l1_latency)
+
+        # Merge with an in-flight fill of the same line, if any.
+        merged_completion = mshr.lookup(req.line_addr, now)
+        if merged_completion is not None:
+            return AccessOutcome(
+                l1_hit=False, completion=max(merged_completion, now + l1_latency), merged=True
+            )
+
+        start = mshr.earliest_start(now) + l1_latency
+        l2_hit, queued_start, l2_ready = self.l2.access(req, start)
+        completion = l2_ready if l2_hit else self.dram.access(queued_start)
+        mshr.register(req.line_addr, completion)
+        return AccessOutcome(l1_hit=False, completion=completion)

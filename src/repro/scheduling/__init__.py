@@ -1,0 +1,26 @@
+"""Warp scheduling policies.
+
+Baselines: loose round-robin (the paper's RR baseline), greedy-then-oldest
+(GTO [34]), the two-level scheduler [24], and oracle CAWS [20].  The paper's
+contribution, gCAWS, lives here too and consumes the criticality counters
+maintained by :mod:`repro.core.cpl`.
+"""
+
+from .base import WarpScheduler
+from .caws import OracleCAWSScheduler
+from .gcaws import GCAWSScheduler
+from .gto import GTOScheduler
+from .lrr import LRRScheduler
+from .registry import SCHEDULERS, make_scheduler
+from .two_level import TwoLevelScheduler
+
+__all__ = [
+    "GCAWSScheduler",
+    "GTOScheduler",
+    "LRRScheduler",
+    "OracleCAWSScheduler",
+    "SCHEDULERS",
+    "TwoLevelScheduler",
+    "WarpScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,37 @@
+"""Warp scheduler interface."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..simt.warp import Warp
+
+
+class WarpScheduler:
+    """Selects which ready warp issues next on one SM scheduler slot.
+
+    The SM calls :meth:`select` once per issue opportunity with the warps
+    whose next instruction has all operands ready.  Schedulers are stateful
+    (round-robin pointers, greedy targets, criticality ranks) and are
+    notified of issues and warp lifecycle events.
+    """
+
+    name = "base"
+
+    def select(self, ready: List[Warp], now: float) -> Optional[Warp]:
+        """Pick one warp from ``ready`` (non-empty) to issue at ``now``."""
+        raise NotImplementedError
+
+    def notify_issue(self, warp: Warp, now: float) -> None:
+        """Called after ``warp`` issues an instruction."""
+
+    def notify_warp_added(self, warp: Warp) -> None:
+        """Called when a block dispatch makes ``warp`` resident."""
+
+    def notify_warp_finished(self, warp: Warp) -> None:
+        """Called when ``warp`` exits."""
+
+    @staticmethod
+    def oldest(ready: List[Warp]) -> Warp:
+        """GTO's tie-break: smallest dynamic (dispatch-order) id."""
+        return min(ready, key=lambda w: w.dynamic_id)

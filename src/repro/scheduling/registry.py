@@ -1,0 +1,33 @@
+"""Scheduler factory registry."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import WarpScheduler
+from .caws import OracleCAWSScheduler
+from .gcaws import GCAWSScheduler
+from .gto import GTOScheduler
+from .lrr import LRRScheduler
+from .two_level import TwoLevelScheduler
+
+SCHEDULERS: Dict[str, Callable[..., WarpScheduler]] = {
+    "lrr": LRRScheduler,
+    "rr": LRRScheduler,  # the paper calls the baseline "RR"
+    "gto": GTOScheduler,
+    "two_level": TwoLevelScheduler,
+    "2lev": TwoLevelScheduler,
+    "caws": OracleCAWSScheduler,
+    "gcaws": GCAWSScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> WarpScheduler:
+    """Instantiate a warp scheduler by registry name."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected one of {sorted(SCHEDULERS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,45 @@
+"""Two-level warp scheduler (Narasiman et al. [24]).
+
+Warps are statically split into fetch groups; only one group is *active* at
+a time and issues round-robin.  When no warp in the active group is ready
+(typically because they all hit long-latency memory operations together),
+the scheduler rotates to the next group.  Staggering groups this way
+prevents all warps from stalling simultaneously.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..simt.warp import Warp
+from .base import WarpScheduler
+
+
+class TwoLevelScheduler(WarpScheduler):
+    name = "two_level"
+
+    def __init__(self, fetch_group_size: int = 8) -> None:
+        if fetch_group_size <= 0:
+            raise ValueError("fetch_group_size must be positive")
+        self.fetch_group_size = fetch_group_size
+        self._active_group = 0
+        self._last_id = -1
+
+    def _group_of(self, warp: Warp) -> int:
+        return warp.dynamic_id // self.fetch_group_size
+
+    def select(self, ready: List[Warp], now: float) -> Optional[Warp]:
+        in_active = [w for w in ready if self._group_of(w) == self._active_group]
+        if not in_active:
+            # Rotate to the group owning the oldest ready warp.
+            oldest = self.oldest(ready)
+            self._active_group = self._group_of(oldest)
+            in_active = [w for w in ready if self._group_of(w) == self._active_group]
+        # Round-robin within the active group.
+        after = [w for w in in_active if w.dynamic_id > self._last_id]
+        pool = after if after else in_active
+        return min(pool, key=lambda w: w.dynamic_id)
+
+    def notify_issue(self, warp: Warp, now: float) -> None:
+        self._last_id = warp.dynamic_id
+        self._active_group = self._group_of(warp)

@@ -1,0 +1,121 @@
+"""Thread-block (CTA) life-cycle and barrier bookkeeping.
+
+All warps of a block are dispatched to an SM together, share the block's
+shared-memory segment and synchronization barrier, and the block only
+commits when its slowest (critical) warp exits — exactly the coupling that
+creates the warp-criticality problem the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class ThreadBlock:
+    """One cooperative thread array resident on an SM."""
+
+    def __init__(
+        self,
+        block_id: int,
+        block_dim: int,
+        grid_dim: int,
+        kernel,
+        warp_size: int,
+    ) -> None:
+        self.block_id = block_id
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.kernel = kernel
+        self.warp_size = warp_size
+        self.num_warps = (block_dim + warp_size - 1) // warp_size
+        self.warps: List = []  # filled by the dispatcher
+
+        words = max(1, kernel.shared_mem_bytes // 8)
+        self._shared = np.zeros(words, dtype=np.float64)
+
+        self.dispatch_cycle: float = 0.0
+        self.commit_cycle: Optional[float] = None
+        self._finished_warps = 0
+        self._barrier_waiting = 0
+
+    # -- shared memory -------------------------------------------------
+    def shared_load(self, addrs: np.ndarray, mask_bools: np.ndarray) -> np.ndarray:
+        idx = (addrs // 8) % len(self._shared)
+        values = self._shared[idx]
+        return np.where(mask_bools, values, 0.0)
+
+    def shared_store(self, addrs: np.ndarray, values: np.ndarray, mask_bools: np.ndarray) -> None:
+        idx = (addrs // 8) % len(self._shared)
+        # Serialize lane stores in lane order (deterministic conflict winner).
+        for lane in np.nonzero(mask_bools)[0]:
+            self._shared[idx[lane]] = values[lane]
+
+    # -- barriers --------------------------------------------------------
+    def barrier_arrive(self, warp) -> bool:
+        """Register ``warp`` at the block barrier.
+
+        Returns True when this arrival releases the barrier (all unfinished
+        warps have arrived); the SM then resumes every waiting warp.
+        """
+        from .warp import WarpStatus
+
+        if warp.status is not WarpStatus.RUNNING:
+            raise SimulationError("warp arrived at barrier while not running")
+        warp.status = WarpStatus.AT_BARRIER
+        self._barrier_waiting += 1
+        outstanding = self.num_warps - self._finished_warps
+        return self._barrier_waiting >= outstanding
+
+    def barrier_release(self) -> List:
+        """Release all warps waiting at the barrier; returns them."""
+        from .warp import WarpStatus
+
+        released = [w for w in self.warps if w.status is WarpStatus.AT_BARRIER]
+        for warp in released:
+            warp.status = WarpStatus.RUNNING
+        self._barrier_waiting = 0
+        return released
+
+    # -- completion ------------------------------------------------------
+    def note_warp_finished(self, warp, cycle: float) -> None:
+        self._finished_warps += 1
+        if self._finished_warps == self.num_warps:
+            self.commit_cycle = cycle
+        elif self._barrier_waiting and self._barrier_waiting >= self.num_warps - self._finished_warps:
+            # A finishing warp can release a barrier the rest already reached.
+            # The SM polls `barrier_ready` to perform the release.
+            pass
+
+    @property
+    def barrier_pending_release(self) -> bool:
+        outstanding = self.num_warps - self._finished_warps
+        return 0 < outstanding <= self._barrier_waiting
+
+    @property
+    def live_warps(self) -> int:
+        """Warps of this block that have not yet exited."""
+        return self.num_warps - self._finished_warps
+
+    @property
+    def done(self) -> bool:
+        return self._finished_warps >= self.num_warps
+
+    @property
+    def execution_time(self) -> Optional[float]:
+        if self.commit_cycle is None:
+            return None
+        return self.commit_cycle - self.dispatch_cycle
+
+    def warp_execution_times(self) -> List[float]:
+        """Per-warp execution times (block dispatch to warp exit)."""
+        return [w.execution_time for w in self.warps]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ThreadBlock(id={self.block_id}, warps={self.num_warps}, "
+            f"finished={self._finished_warps})"
+        )

@@ -1,0 +1,237 @@
+"""Functional (value-level) execution of instructions.
+
+The executor computes architectural results for all active lanes of a warp
+at issue time using numpy; the SM pipeline separately accounts for *when*
+those results become visible (latency, memory system).  This split — values
+now, timing later — is the standard performance-simulator trade and keeps
+the Python inner loop proportional to issued instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..isa.instructions import CmpOp, Instruction, MemSpace, Opcode, Special
+from .mask import bools_from_mask, mask_from_bools
+
+
+@dataclass
+class ExecResult:
+    """Outcome of functionally executing one instruction for one warp.
+
+    Attributes:
+        taken_mask: for branches, lanes (within the incoming active mask)
+            whose predicate selected the branch target.
+        mem_addrs: for LD/ST, per-lane byte addresses (full warp width;
+            only lanes in ``mem_mask`` are meaningful).
+        mem_mask: lanes that actually access memory (active mask further
+            restricted by the instruction's guard predicate).
+        is_exit: EXIT reached.
+        is_barrier: BAR reached.
+    """
+
+    taken_mask: int = 0
+    mem_addrs: Optional[np.ndarray] = None
+    mem_mask: int = 0
+    is_exit: bool = False
+    is_barrier: bool = False
+
+
+class FunctionalExecutor:
+    """Executes instructions against warp register state and data memory."""
+
+    def __init__(self, global_mem, warp_size: int) -> None:
+        self._mem = global_mem
+        self._warp_size = warp_size
+
+    def execute(self, inst: Instruction, warp) -> ExecResult:
+        """Execute ``inst`` for ``warp``'s currently active lanes."""
+        op = inst.op
+        rf = warp.rf
+        active = warp.active_mask
+
+        # Guard predicate restricts effect lanes (except for BRA, where the
+        # predicate is the branch condition, and SELP, where it selects).
+        effect_mask = active
+        if inst.pred is not None and op not in (Opcode.BRA, Opcode.SELP):
+            pvals = rf.read_pred(inst.pred)
+            pmask = mask_from_bools(pvals)
+            if inst.pred_neg:
+                pmask = ~pmask & ((1 << self._warp_size) - 1)
+            effect_mask &= pmask
+
+        if op is Opcode.BRA:
+            if inst.pred is None:
+                return ExecResult(taken_mask=active)
+            pvals = rf.read_pred(inst.pred)
+            taken = mask_from_bools(pvals)
+            if inst.pred_neg:
+                taken = ~taken & ((1 << self._warp_size) - 1)
+            return ExecResult(taken_mask=taken & active)
+
+        if op in (Opcode.NOP, Opcode.RECONV):
+            return ExecResult()
+        if op is Opcode.BAR:
+            return ExecResult(is_barrier=True)
+        if op is Opcode.EXIT:
+            return ExecResult(is_exit=True)
+
+        mask_bools = bools_from_mask(effect_mask, self._warp_size)
+
+        if op is Opcode.LD or op is Opcode.ST:
+            base = rf.read(inst.srcs[0])
+            offset = 0.0 if inst.imm is None else inst.imm
+            addrs = base.astype(np.int64) + np.int64(offset)
+            if op is Opcode.LD:
+                if effect_mask:
+                    values = self._load(inst.space, addrs, mask_bools, warp)
+                    rf.write(inst.dst, values, mask_bools)
+            else:
+                if effect_mask:
+                    values = rf.read(inst.srcs[1])
+                    self._store(inst.space, addrs, values, mask_bools, warp)
+            return ExecResult(mem_addrs=addrs, mem_mask=effect_mask)
+
+        if op is Opcode.SETP:
+            a, b = self._binary_operands(inst, rf)
+            result = _COMPARES[inst.cmp](a, b)
+            rf.write_pred(inst.dst, result, mask_bools)
+            return ExecResult()
+
+        if op is Opcode.SELP:
+            a, b = self._binary_operands(inst, rf)
+            sel = rf.read_pred(inst.pred)
+            rf.write(inst.dst, np.where(sel, a, b), bools_from_mask(active, self._warp_size))
+            return ExecResult()
+
+        if op is Opcode.SREG:
+            values = warp.special_values(inst.special)
+            rf.write(inst.dst, values, mask_bools)
+            return ExecResult()
+
+        if op is Opcode.MAD:
+            a = rf.read(inst.srcs[0])
+            if inst.imm is not None and len(inst.srcs) == 2:
+                b = np.float64(inst.imm)
+                c = rf.read(inst.srcs[1])
+            elif len(inst.srcs) == 3:
+                b = rf.read(inst.srcs[1])
+                c = rf.read(inst.srcs[2])
+            else:
+                raise SimulationError(f"malformed MAD operands at pc={inst.pc}")
+            rf.write(inst.dst, a * b + c, mask_bools)
+            return ExecResult()
+
+        handler = _UNARY.get(op)
+        if handler is not None:
+            a = self._unary_operand(inst, rf)
+            rf.write(inst.dst, handler(a), mask_bools)
+            return ExecResult()
+
+        handler = _BINARY.get(op)
+        if handler is not None:
+            a, b = self._binary_operands(inst, rf)
+            rf.write(inst.dst, handler(a, b), mask_bools)
+            return ExecResult()
+
+        raise SimulationError(f"unimplemented opcode {op!r} at pc={inst.pc}")
+
+    # ------------------------------------------------------------------
+    def _unary_operand(self, inst: Instruction, rf) -> np.ndarray:
+        if inst.srcs:
+            return rf.read(inst.srcs[0])
+        if inst.imm is None:
+            raise SimulationError(f"missing operand at pc={inst.pc}")
+        return np.full(self._warp_size, inst.imm, dtype=np.float64)
+
+    def _binary_operands(self, inst: Instruction, rf):
+        if len(inst.srcs) == 2:
+            return rf.read(inst.srcs[0]), rf.read(inst.srcs[1])
+        if len(inst.srcs) == 1 and inst.imm is not None:
+            return rf.read(inst.srcs[0]), np.float64(inst.imm)
+        raise SimulationError(f"malformed operands at pc={inst.pc}")
+
+    def _load(self, space: MemSpace, addrs, mask_bools, warp) -> np.ndarray:
+        if space is MemSpace.SHARED:
+            return warp.block.shared_load(addrs, mask_bools)
+        return self._mem.load(addrs, mask_bools)
+
+    def _store(self, space: MemSpace, addrs, values, mask_bools, warp) -> None:
+        if space is MemSpace.SHARED:
+            warp.block.shared_store(addrs, values, mask_bools)
+        else:
+            self._mem.store(addrs, values, mask_bools)
+
+
+def _to_int(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64).astype(np.int64)
+
+
+def _safe_div(a: np.ndarray, b) -> np.ndarray:
+    b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), np.shape(a)).copy()
+    zero = b_arr == 0
+    b_arr[zero] = 1.0
+    out = a / b_arr
+    out = np.where(zero, 0.0, out)
+    return out
+
+
+def _safe_mod(a: np.ndarray, b) -> np.ndarray:
+    b_arr = np.broadcast_to(np.asarray(b, dtype=np.float64), np.shape(a)).copy()
+    zero = b_arr == 0
+    b_arr[zero] = 1.0
+    out = np.mod(a, b_arr)
+    return np.where(zero, 0.0, out)
+
+
+def _safe_unary(fn, domain_fix):
+    def wrapped(a: np.ndarray) -> np.ndarray:
+        with np.errstate(all="ignore"):
+            out = fn(domain_fix(a))
+        return np.nan_to_num(out, nan=0.0, posinf=0.0, neginf=0.0)
+
+    return wrapped
+
+
+_UNARY = {
+    Opcode.MOV: lambda a: a,
+    Opcode.ABS: np.abs,
+    Opcode.NEG: lambda a: -a,
+    Opcode.NOT: lambda a: (~_to_int(a)).astype(np.float64),
+    Opcode.FLOOR: np.floor,
+    Opcode.SQRT: _safe_unary(np.sqrt, lambda a: np.maximum(a, 0.0)),
+    Opcode.RSQRT: _safe_unary(lambda a: 1.0 / np.sqrt(a), lambda a: np.maximum(a, 1e-300)),
+    Opcode.RCP: _safe_unary(lambda a: 1.0 / a, lambda a: np.where(a == 0, 1e-300, a)),
+    Opcode.EXP: _safe_unary(np.exp, lambda a: np.clip(a, -700, 700)),
+    Opcode.LOG: _safe_unary(np.log, lambda a: np.maximum(a, 1e-300)),
+    Opcode.SIN: np.sin,
+    Opcode.COS: np.cos,
+}
+
+_BINARY = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _safe_div,
+    Opcode.MOD: _safe_mod,
+    Opcode.MIN: np.minimum,
+    Opcode.MAX: np.maximum,
+    Opcode.AND: lambda a, b: (_to_int(a) & _to_int(b)).astype(np.float64),
+    Opcode.OR: lambda a, b: (_to_int(a) | _to_int(b)).astype(np.float64),
+    Opcode.XOR: lambda a, b: (_to_int(a) ^ _to_int(b)).astype(np.float64),
+    Opcode.SHL: lambda a, b: (_to_int(a) << np.clip(_to_int(b), 0, 62)).astype(np.float64),
+    Opcode.SHR: lambda a, b: (_to_int(a) >> np.clip(_to_int(b), 0, 62)).astype(np.float64),
+}
+
+_COMPARES = {
+    CmpOp.LT: lambda a, b: a < b,
+    CmpOp.LE: lambda a, b: a <= b,
+    CmpOp.GT: lambda a, b: a > b,
+    CmpOp.GE: lambda a, b: a >= b,
+    CmpOp.EQ: lambda a, b: a == b,
+    CmpOp.NE: lambda a, b: a != b,
+}

@@ -1,0 +1,119 @@
+"""Per-warp register file with a ready-cycle scoreboard.
+
+Values are computed functionally at issue time; the scoreboard only tracks
+*when* each register's value would be available in hardware, which is what
+creates realistic stall behaviour (RAW hazards on long-latency loads are the
+dominant source of warp stalls the paper's CPL measures).
+
+Registers are warp-wide: one 64-bit float per lane.  The scoreboard is also
+warp-wide (one ready cycle per architectural register), matching how GPU
+scoreboards track dependencies at warp granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Ready-cycle marker for a register waiting on an outstanding load whose
+#: completion time is not yet known.
+PENDING = np.inf
+
+
+class WarpRegisterFile:
+    """Registers, predicates, and their scoreboards for one warp."""
+
+    def __init__(self, num_regs: int, num_preds: int, warp_size: int) -> None:
+        self.warp_size = warp_size
+        self.regs = np.zeros((num_regs, warp_size), dtype=np.float64)
+        self.preds = np.zeros((num_preds, warp_size), dtype=bool)
+        self.reg_ready = np.zeros(num_regs, dtype=np.float64)
+        self.pred_ready = np.zeros(num_preds, dtype=np.float64)
+        #: True for registers whose last writer was a load; lets the stall
+        #: accounting attribute data stalls to the memory subsystem.
+        self.reg_from_load = np.zeros(num_regs, dtype=bool)
+
+    # -- value access -------------------------------------------------
+    def read(self, reg: int) -> np.ndarray:
+        """Lane values of ``reg`` (a view; callers must not mutate)."""
+        return self.regs[reg]
+
+    def write(self, reg: int, values: np.ndarray, mask_bools: np.ndarray) -> None:
+        """Write ``values`` into ``reg`` in lanes where ``mask_bools``."""
+        np.copyto(self.regs[reg], values, where=mask_bools)
+
+    def read_pred(self, pred: int) -> np.ndarray:
+        return self.preds[pred]
+
+    def write_pred(self, pred: int, values: np.ndarray, mask_bools: np.ndarray) -> None:
+        np.copyto(self.preds[pred], values, where=mask_bools)
+
+    # -- scoreboard ---------------------------------------------------
+    def operands_ready_at(self, srcs, dst, pred, pred_is_dst: bool = False) -> float:
+        """Earliest cycle at which all named operands are available.
+
+        ``srcs`` are read registers, ``dst`` is the written register (WAW
+        hazards also stall issue), ``pred`` is a read predicate.  When
+        ``pred_is_dst`` the instruction writes predicate ``dst`` instead of a
+        general register.
+        """
+        ready = 0.0
+        for src in srcs:
+            value = self.reg_ready[src]
+            if value > ready:
+                ready = value
+        if dst is not None:
+            board = self.pred_ready if pred_is_dst else self.reg_ready
+            value = board[dst]
+            if value > ready:
+                ready = value
+        if pred is not None:
+            value = self.pred_ready[pred]
+            if value > ready:
+                ready = value
+        return float(ready)
+
+    def operands_ready_detail(self, srcs, dst, pred, pred_is_dst: bool = False):
+        """Like :meth:`operands_ready_at` but also reports memory provenance.
+
+        Returns ``(ready_cycle, limited_by_load)`` where the flag is True
+        when a register produced by a load is (one of) the latest operands.
+        """
+        ready = 0.0
+        by_load = False
+        for src in srcs:
+            value = self.reg_ready[src]
+            if value > ready:
+                ready = value
+                by_load = bool(self.reg_from_load[src])
+            elif value == ready and self.reg_from_load[src]:
+                by_load = True
+        if dst is not None:
+            board = self.pred_ready if pred_is_dst else self.reg_ready
+            value = board[dst]
+            if value > ready:
+                ready = value
+                by_load = bool(not pred_is_dst and self.reg_from_load[dst])
+        if pred is not None:
+            value = self.pred_ready[pred]
+            if value > ready:
+                ready = value
+                by_load = False
+        return float(ready), by_load
+
+    def set_reg_ready(self, reg: int, cycle: float, from_load: bool = False) -> None:
+        self.reg_ready[reg] = cycle
+        self.reg_from_load[reg] = from_load
+
+    def set_pred_ready(self, pred: int, cycle: float) -> None:
+        self.pred_ready[pred] = cycle
+
+    def mark_reg_pending(self, reg: int) -> None:
+        """Mark ``reg`` as waiting on an in-flight load."""
+        self.reg_ready[reg] = PENDING
+
+    def min_pending_free_cycle(self) -> float:
+        """Largest finite ready cycle (for idle-skip scheduling)."""
+        finite = self.reg_ready[np.isfinite(self.reg_ready)]
+        later = float(finite.max()) if finite.size else 0.0
+        pred_max = float(self.pred_ready.max()) if self.pred_ready.size else 0.0
+        return max(later, pred_max)

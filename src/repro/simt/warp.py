@@ -1,0 +1,181 @@
+"""Warp runtime state.
+
+A :class:`Warp` bundles everything the SM pipeline needs to schedule and
+execute one warp: its SIMT stack, register file/scoreboard, barrier status,
+and the per-warp statistics (issue counts, stall cycles, criticality
+counter) that feed the CAWA components.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..isa.instructions import MemSpace, Special
+from .mask import full_mask, popcount
+from .registers import WarpRegisterFile
+from .stack import SIMTStack
+
+
+class WarpStatus(enum.Enum):
+    RUNNING = "running"
+    AT_BARRIER = "at_barrier"
+    FINISHED = "finished"
+
+
+class Warp:
+    """One hardware warp resident on an SM."""
+
+    def __init__(
+        self,
+        warp_id_in_block: int,
+        block,
+        warp_size: int,
+        num_regs: int,
+        num_preds: int,
+        dynamic_id: int,
+    ) -> None:
+        self.warp_id_in_block = warp_id_in_block
+        self.block = block
+        self.warp_size = warp_size
+        #: Monotonic dispatch-order id; GTO's "oldest" tie-break key.
+        self.dynamic_id = dynamic_id
+
+        first_thread = warp_id_in_block * warp_size
+        active_threads = max(0, min(warp_size, block.block_dim - first_thread))
+        self.initial_mask = full_mask(active_threads)
+
+        self.rf = WarpRegisterFile(num_regs, num_preds, warp_size)
+        self.stack = SIMTStack(entry_pc=0, mask=self.initial_mask)
+        self.status = WarpStatus.RUNNING
+
+        lanes = np.arange(warp_size, dtype=np.float64)
+        tid = first_thread + lanes
+        self._specials: Dict[Special, np.ndarray] = {
+            Special.TID: tid,
+            Special.CTAID: np.full(warp_size, float(block.block_id)),
+            Special.NTID: np.full(warp_size, float(block.block_dim)),
+            Special.NCTAID: np.full(warp_size, float(block.grid_dim)),
+            Special.GTID: block.block_id * block.block_dim + tid,
+            Special.LANEID: lanes,
+            Special.WARPID: np.full(warp_size, float(warp_id_in_block)),
+        }
+
+        # -- timing / statistics ---------------------------------------
+        self.start_cycle: float = 0.0
+        self.finish_cycle: Optional[float] = None
+        self.issued_instructions: int = 0
+        self.thread_instructions: int = 0
+        self.divergent_branches: int = 0
+        self.last_issue_cycle: float = 0.0
+        self.total_stall_cycles: float = 0.0
+        self.mem_stall_cycles: float = 0.0
+        self.sched_stall_cycles: float = 0.0
+        self.pending_loads: int = 0
+
+        # -- scheduling cache (invalidated by this warp's own issues) ---
+        self._sched_cache_version: int = -1
+        self._cached_ready: float = 0.0
+        self._cached_needs_mem: bool = False
+
+        # -- CPL state (Section 3.1) -----------------------------------
+        #: Relative dynamic-instruction disparity term (nInst in Eq. 1).
+        self.cpl_inst_disparity: float = 0.0
+        #: Accumulated stall cycles term (nStall in Eq. 1).
+        self.cpl_stall: float = 0.0
+        #: Cached criticality counter value (Eq. 1), kept current by CPL.
+        self.criticality: float = 0.0
+        #: Latched slow-warp verdict, refreshed periodically by CPL.
+        self.is_critical_flag: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def pc(self) -> int:
+        return self.stack.pc
+
+    @property
+    def active_mask(self) -> int:
+        return self.stack.active_mask
+
+    @property
+    def finished(self) -> bool:
+        return self.status is WarpStatus.FINISHED
+
+    @property
+    def at_barrier(self) -> bool:
+        return self.status is WarpStatus.AT_BARRIER
+
+    def special_values(self, special: Special) -> np.ndarray:
+        return self._specials[special]
+
+    def next_instruction(self):
+        """The static instruction at the warp's current PC."""
+        return self.block.kernel.instructions[self.pc]
+
+    def operands_ready_at(self) -> float:
+        """Earliest cycle the next instruction's operands are available.
+
+        Returns ``inf`` while a needed register waits on an outstanding load
+        (the wake-up happens when the memory response arrives).
+        """
+        inst = self.next_instruction()
+        pred_is_dst = inst.writes_predicate
+        dst = inst.dst if (inst.writes_register or pred_is_dst) else None
+        return self.rf.operands_ready_at(inst.srcs, dst, inst.pred, pred_is_dst)
+
+    def operands_ready_detail(self):
+        """``(ready_cycle, limited_by_load)`` for the next instruction."""
+        inst = self.next_instruction()
+        pred_is_dst = inst.writes_predicate
+        dst = inst.dst if (inst.writes_register or pred_is_dst) else None
+        return self.rf.operands_ready_detail(inst.srcs, dst, inst.pred, pred_is_dst)
+
+    def schedule_info(self):
+        """``(ready_cycle, next_needs_global_memory)``, cached between issues.
+
+        A warp's scoreboard, PC, and last-issue cycle only change when the
+        warp itself issues, so the tuple is memoized on the issue count —
+        this keeps the per-tick readiness scan cheap.
+        """
+        if self.status is not WarpStatus.RUNNING:
+            return np.inf, False
+        if self._sched_cache_version != self.issued_instructions:
+            self._sched_cache_version = self.issued_instructions
+            floor = (
+                self.last_issue_cycle + 1 if self.issued_instructions else self.start_cycle
+            )
+            self._cached_ready = max(self.operands_ready_at(), floor)
+            inst = self.next_instruction()
+            self._cached_needs_mem = inst.is_memory and inst.space is MemSpace.GLOBAL
+        return self._cached_ready, self._cached_needs_mem
+
+    def issuable_at(self) -> float:
+        """Earliest cycle this warp could issue, or ``inf`` if blocked.
+
+        Accounts for operand readiness and the one-instruction-per-cycle
+        issue limit (but not MSHR back-pressure; the SM layers that on).
+        """
+        return self.schedule_info()[0]
+
+    def mark_finished(self, cycle: float) -> None:
+        self.status = WarpStatus.FINISHED
+        self.finish_cycle = cycle
+        self.block.note_warp_finished(self, cycle)
+
+    @property
+    def execution_time(self) -> float:
+        """Cycles from block dispatch to this warp's EXIT."""
+        end = self.finish_cycle if self.finish_cycle is not None else self.last_issue_cycle
+        return max(0.0, end - self.start_cycle)
+
+    def active_lane_count(self) -> int:
+        return popcount(self.active_mask)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Warp(block={self.block.block_id}, w={self.warp_id_in_block}, "
+            f"pc={self.pc if not self.finished else 'done'}, "
+            f"status={self.status.value}, crit={self.criticality:.1f})"
+        )

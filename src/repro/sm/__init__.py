@@ -1,0 +1,7 @@
+"""Streaming multiprocessor pipeline: scheduling slots, LSU, dispatch."""
+
+from .dispatcher import BlockDispatcher
+from .lsu import LoadStoreUnit
+from .sm import SMStats, StreamingMultiprocessor
+
+__all__ = ["BlockDispatcher", "LoadStoreUnit", "SMStats", "StreamingMultiprocessor"]

@@ -1,0 +1,94 @@
+"""Load-store unit: memory coalescing and hierarchy timing per warp access.
+
+The coalescer merges the active lanes' byte addresses into distinct cache
+lines (Fermi coalesces within 128B segments).  Each distinct line costs one
+LSU slot cycle and one L1D access; poorly-coalesced (irregular) access
+patterns therefore serialize — one of the paper's sources of warp
+criticality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.instructions import Instruction, MemSpace
+from ..memory.cache import Cache
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.mshr import MSHRFile
+from ..memory.request import MemRequest, make_signature
+from ..simt.mask import lanes_of
+from ..simt.warp import Warp
+
+
+class LoadStoreUnit:
+    """One SM's memory access port."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        l1d: Cache,
+        mshr: MSHRFile,
+        hierarchy: MemoryHierarchy,
+        shared_latency: int = 8,
+    ) -> None:
+        self.sm_id = sm_id
+        self.l1d = l1d
+        self.mshr = mshr
+        self.hierarchy = hierarchy
+        self.shared_latency = shared_latency
+        self._next_free = 0.0
+        # Statistics.
+        self.global_accesses = 0
+        self.line_accesses = 0
+        self.l1_misses = 0
+
+    def coalesce(self, addrs: np.ndarray, mask: int) -> List[int]:
+        """Distinct line addresses touched by the active lanes, ascending."""
+        line_size = self.l1d.config.line_size
+        lines = {int(addrs[lane]) // line_size * line_size for lane in lanes_of(mask)}
+        return sorted(lines)
+
+    def issue(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        addrs: np.ndarray,
+        mask: int,
+        now: float,
+        is_critical: bool,
+    ) -> Tuple[float, int]:
+        """Perform the timing walk for one warp memory instruction.
+
+        Returns ``(completion_cycle, num_line_accesses)``.  Shared-memory
+        accesses bypass the cache hierarchy with a short fixed latency.
+        """
+        if mask == 0:
+            return now + 1, 0
+        if inst.space is MemSpace.SHARED:
+            return now + self.shared_latency, 0
+
+        lines = self.coalesce(addrs, mask)
+        self.global_accesses += 1
+        completion = now + 1
+        start = max(now, self._next_free)
+        for i, line_addr in enumerate(lines):
+            issue_time = start + i  # one coalesced access per LSU cycle
+            req = MemRequest(
+                line_addr=line_addr,
+                pc=inst.pc,
+                warp_key=(self.sm_id, warp.block.block_id, warp.warp_id_in_block),
+                is_load=inst.is_load,
+                is_critical=is_critical,
+                cycle=issue_time,
+                signature=make_signature(inst.pc, line_addr),
+            )
+            outcome = self.hierarchy.access(self.l1d, self.mshr, req, issue_time)
+            self.line_accesses += 1
+            if not outcome.l1_hit:
+                self.l1_misses += 1
+            if outcome.completion > completion:
+                completion = outcome.completion
+        self._next_free = start + len(lines)
+        return completion, len(lines)

@@ -1,0 +1,296 @@
+"""The streaming multiprocessor pipeline.
+
+Each SM owns resident thread blocks, their warps, per-slot warp schedulers,
+an L1 data cache with MSHRs, and a load-store unit.  Execution is
+functional-at-issue: when a scheduler slot selects a ready warp, the
+instruction's lane results are computed immediately and its latency is
+recorded in the warp's scoreboard; readiness of later instructions follows
+from those recorded completion times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..config import GPUConfig
+from ..errors import SimulationError
+from ..isa.instructions import FuncUnit, Opcode
+from ..memory.cache import Cache
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.mshr import MSHRFile
+from ..scheduling.base import WarpScheduler
+from ..simt.block import ThreadBlock
+from ..simt.executor import FunctionalExecutor
+from ..simt.mask import popcount
+from ..simt.warp import Warp, WarpStatus
+from .lsu import LoadStoreUnit
+
+
+@dataclass
+class SMStats:
+    """Issue/stall counters for one SM."""
+
+    warp_instructions: int = 0
+    thread_instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    divergent_branches: int = 0
+    barriers: int = 0
+    blocks_committed: int = 0
+    issue_events: int = 0
+
+
+class StreamingMultiprocessor:
+    """One SM: warps, schedulers, L1D, LSU."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        hierarchy: MemoryHierarchy,
+        executor: FunctionalExecutor,
+        scheduler_factory: Callable[[], WarpScheduler],
+        l1_policy_factory: Callable[[], object],
+        cpl=None,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.l1d = Cache(config.l1d, l1_policy_factory())
+        self.mshr = MSHRFile(config.l1d.mshr_entries)
+        self.lsu = LoadStoreUnit(sm_id, self.l1d, self.mshr, hierarchy)
+        self.executor = executor
+        self.schedulers = [scheduler_factory() for _ in range(config.num_schedulers_per_sm)]
+        self.cpl = cpl
+        self.warps: List[Warp] = []
+        self.blocks: List[ThreadBlock] = []
+        self.completed_blocks: List[ThreadBlock] = []
+        self.stats = SMStats()
+        self._next_dynamic_id = 0
+        self._regs_in_use = 0
+        #: Observers notified of issue events (used by Fig 12's priority trace).
+        self.issue_observers: List = []
+
+    # ------------------------------------------------------------------
+    # Occupancy / dispatch
+    # ------------------------------------------------------------------
+    def can_accept(self, kernel, block_dim: int) -> bool:
+        """Occupancy check: blocks, warps, and register file limits."""
+        warps_needed = (block_dim + self.config.warp_size - 1) // self.config.warp_size
+        resident_warps = sum(1 for w in self.warps if not w.finished)
+        if len(self.blocks) >= self.config.max_blocks_per_sm:
+            return False
+        if resident_warps + warps_needed > self.config.max_warps_per_sm:
+            return False
+        regs_needed = kernel.num_regs * block_dim
+        return self._regs_in_use + regs_needed <= self.config.registers_per_sm
+
+    def add_block(self, block: ThreadBlock, now: float) -> None:
+        """Make ``block``'s warps resident and schedulable."""
+        block.dispatch_cycle = now
+        self.blocks.append(block)
+        self._regs_in_use += block.kernel.num_regs * block.block_dim
+        for w in range(block.num_warps):
+            warp = Warp(
+                warp_id_in_block=w,
+                block=block,
+                warp_size=self.config.warp_size,
+                num_regs=block.kernel.num_regs,
+                num_preds=block.kernel.num_preds,
+                dynamic_id=self._next_dynamic_id,
+            )
+            self._next_dynamic_id += 1
+            warp.start_cycle = now
+            warp.last_issue_cycle = now - 1
+            block.warps.append(warp)
+            self.warps.append(warp)
+            self.schedulers[warp.dynamic_id % len(self.schedulers)].notify_warp_added(warp)
+
+    # ------------------------------------------------------------------
+    # Cycle execution
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> bool:
+        """Give each scheduler slot one issue opportunity; True if issued."""
+        issued = False
+        num_slots = len(self.schedulers)
+        reserve = self.config.critical_mshr_reserve
+        free_mshrs = self.mshr.free_entries(now)
+        for slot, scheduler in enumerate(self.schedulers):
+            ready = []
+            for w in self.warps:
+                if w.dynamic_id % num_slots != slot or w.status is not WarpStatus.RUNNING:
+                    continue
+                t, needs_mem = w.schedule_info()
+                if t > now:
+                    continue
+                if needs_mem:
+                    # Structural hazard: a new global access needs a free
+                    # MSHR entry.  With a critical reserve configured,
+                    # non-critical warps must additionally leave `reserve`
+                    # entries untouched for critical warps.
+                    if free_mshrs <= 0:
+                        continue
+                    if reserve and free_mshrs <= reserve and self.cpl is not None:
+                        if not self.cpl.is_critical(w):
+                            continue
+                ready.append(w)
+            if not ready:
+                continue
+            warp = scheduler.select(ready, now)
+            if warp is None:
+                continue
+            self._issue(warp, scheduler, now)
+            free_mshrs = self.mshr.free_entries(now)
+            issued = True
+        return issued
+
+    def _issue(self, warp: Warp, scheduler: WarpScheduler, now: float) -> None:
+        inst = warp.next_instruction()
+        pc = warp.pc
+        active = warp.active_mask
+        lanes = popcount(active)
+
+        # ---- stall accounting (Fig 2c / Fig 4 decomposition) ----------
+        base = warp.last_issue_cycle + 1 if warp.issued_instructions else warp.start_cycle
+        ready, limited_by_load = warp.operands_ready_detail()
+        gap = max(0.0, now - base)
+        data_stall = max(0.0, min(now, ready) - base)
+        sched_stall = max(0.0, now - max(ready, base))
+        warp.total_stall_cycles += gap
+        warp.sched_stall_cycles += sched_stall
+        if limited_by_load:
+            warp.mem_stall_cycles += data_stall
+
+        if self.cpl is not None:
+            # Only data stalls (memory latency, dependency hazards) feed the
+            # criticality counter.  Counting scheduler-induced wait (ready
+            # but not selected) creates a fairness feedback loop under a
+            # greedy scheduler: starved-but-ready warps would be promoted,
+            # dissolving the working-set concentration gCAWS inherits from
+            # GTO.  A genuinely slow warp is slow because its *data* is
+            # late, and that is exactly what data_stall measures.
+            self.cpl.on_issue(warp, data_stall)
+
+        # ---- functional execution -------------------------------------
+        result = self.executor.execute(inst, warp)
+
+        # ---- timing + control state -----------------------------------
+        op = inst.op
+        if op is Opcode.BRA:
+            self._resolve_branch(warp, inst, result.taken_mask, active)
+            self.stats.branches += 1
+        elif op in (Opcode.LD, Opcode.ST):
+            is_critical = self.cpl.is_critical(warp) if self.cpl is not None else False
+            completion, _ = self.lsu.issue(
+                warp, inst, result.mem_addrs, result.mem_mask, now, is_critical
+            )
+            if inst.is_load:
+                warp.rf.set_reg_ready(inst.dst, completion, from_load=True)
+                self.stats.loads += 1
+            else:
+                self.stats.stores += 1
+            warp.stack.advance(pc + 1)
+        elif op is Opcode.BAR:
+            self.stats.barriers += 1
+            warp.stack.advance(pc + 1)
+            if warp.block.barrier_arrive(warp):
+                warp.block.barrier_release()
+        elif op is Opcode.EXIT:
+            warp.stack.kill_lanes(active)
+            if warp.stack.empty:
+                self._finish_warp(warp, scheduler, now)
+        else:
+            if inst.writes_predicate:
+                warp.rf.set_pred_ready(inst.dst, now + self.config.alu_latency)
+            elif inst.writes_register:
+                latency = (
+                    self.config.sfu_latency
+                    if inst.unit is FuncUnit.SFU
+                    else self.config.alu_latency
+                )
+                warp.rf.set_reg_ready(inst.dst, now + latency, from_load=False)
+            warp.stack.advance(pc + 1)
+
+        # ---- bookkeeping ----------------------------------------------
+        warp.issued_instructions += 1
+        warp.thread_instructions += lanes
+        warp.last_issue_cycle = now
+        self.stats.warp_instructions += 1
+        self.stats.thread_instructions += lanes
+        self.stats.issue_events += 1
+        scheduler.notify_issue(warp, now)
+        for obs in self.issue_observers:
+            obs.on_issue(self, warp, inst, now)
+
+    def _resolve_branch(self, warp: Warp, inst, taken_mask: int, active: int) -> None:
+        pc = inst.pc
+        if inst.pred is None:
+            warp.stack.advance(inst.target_pc)
+            return
+        not_taken = active & ~taken_mask
+        if taken_mask == 0:
+            warp.stack.advance(pc + 1)
+            diverged, all_taken = False, False
+        elif not_taken == 0:
+            warp.stack.advance(inst.target_pc)
+            diverged, all_taken = False, True
+        elif inst.target_pc == pc + 1:
+            warp.stack.advance(pc + 1)
+            diverged, all_taken = False, False
+        else:
+            warp.stack.diverge(inst.target_pc, pc + 1, taken_mask, inst.reconv_pc)
+            warp.divergent_branches += 1
+            self.stats.divergent_branches += 1
+            diverged, all_taken = True, False
+        if self.cpl is not None:
+            self.cpl.on_branch(warp, inst, diverged=diverged, all_taken=all_taken)
+
+    def _finish_warp(self, warp: Warp, scheduler: WarpScheduler, now: float) -> None:
+        warp.mark_finished(now)
+        scheduler.notify_warp_finished(warp)
+        block = warp.block
+        if block.barrier_pending_release:
+            block.barrier_release()
+        if block.done:
+            self._commit_block(block)
+
+    def _commit_block(self, block: ThreadBlock) -> None:
+        self.blocks.remove(block)
+        self.completed_blocks.append(block)
+        self.stats.blocks_committed += 1
+        self._regs_in_use -= block.kernel.num_regs * block.block_dim
+        self.warps = [w for w in self.warps if w.block is not block]
+        if self.cpl is not None:
+            self.cpl.forget_block(block.block_id)
+
+    # ------------------------------------------------------------------
+    def next_wake_time(self, now: float = 0.0) -> float:
+        """Earliest cycle any resident warp could issue (inf if none)."""
+        wake = math.inf
+        mshr_free_at: Optional[float] = None
+        for warp in self.warps:
+            if warp.finished:
+                continue
+            t, needs_mem = warp.schedule_info()
+            if needs_mem:
+                if mshr_free_at is None:
+                    mshr_free_at = self.mshr.next_free_time(now)
+                t = max(t, mshr_free_at)
+            if t < wake:
+                wake = t
+        return wake
+
+    @property
+    def busy(self) -> bool:
+        return any(not w.finished for w in self.warps)
+
+    def detect_deadlock(self, now: float) -> None:
+        """Raise when resident warps exist but none can ever wake."""
+        if self.busy and math.isinf(self.next_wake_time(now)):
+            stuck = [w for w in self.warps if not w.finished]
+            raise SimulationError(
+                f"SM{self.sm_id}: {len(stuck)} warps permanently blocked "
+                f"(statuses: {[w.status.value for w in stuck]})"
+            )

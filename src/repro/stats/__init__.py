@@ -1,0 +1,18 @@
+"""Measurement and analysis utilities for simulator runs."""
+
+from .accuracy import CriticalityAccuracyTracker
+from .counters import RunResult, merge_cache_stats
+from .disparity import block_disparity, max_block_disparity, warp_time_profile
+from .reuse import ReuseDistanceProfiler
+from .report import format_table
+
+__all__ = [
+    "CriticalityAccuracyTracker",
+    "ReuseDistanceProfiler",
+    "RunResult",
+    "block_disparity",
+    "format_table",
+    "max_block_disparity",
+    "merge_cache_stats",
+    "warp_time_profile",
+]

@@ -1,0 +1,74 @@
+"""CPL prediction-accuracy measurement (paper Figure 11, Section 5.2).
+
+The paper scores CPL by sampling its verdicts during the run and checking,
+after the block commits, how often the *actually* critical warp (slowest by
+measured execution time) had been flagged as a slow warp (criticality above
+the block median).  This tracker implements exactly that protocol as an SM
+issue observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+BlockKey = Tuple[int, int]  # (sm_id, block_id)
+
+
+@dataclass
+class _BlockSamples:
+    samples: int = 0
+    flagged_slow: Dict[int, int] = field(default_factory=dict)  # warp_id -> count
+
+
+class CriticalityAccuracyTracker:
+    """SM issue observer sampling CPL verdicts at a fixed issue period."""
+
+    def __init__(self, sample_period: int = 64) -> None:
+        self.sample_period = sample_period
+        self._issues: Dict[BlockKey, int] = {}
+        self._samples: Dict[BlockKey, _BlockSamples] = {}
+
+    # SM issue-observer interface ---------------------------------------
+    def on_issue(self, sm, warp, inst, now) -> None:
+        if sm.cpl is None:
+            return
+        key = (sm.sm_id, warp.block.block_id)
+        count = self._issues.get(key, 0) + 1
+        self._issues[key] = count
+        if count % self.sample_period:
+            return
+        record = self._samples.setdefault(key, _BlockSamples())
+        record.samples += 1
+        for peer in warp.block.warps:
+            if peer.finished:
+                continue
+            if sm.cpl.is_critical(peer):
+                record.flagged_slow[peer.warp_id_in_block] = (
+                    record.flagged_slow.get(peer.warp_id_in_block, 0) + 1
+                )
+
+    # Post-run scoring ---------------------------------------------------
+    def accuracy(self, result) -> float:
+        """Fraction of samples in which the true critical warp was flagged.
+
+        Blocks with fewer than two warps are trivially predicted (the
+        paper's footnote on needle: 100% accuracy when a block has only one
+        or two warps); they score 1 per sample.
+        """
+        total_samples = 0
+        correct = 0.0
+        for block in result.blocks:
+            times = [(w.execution_time, w.warp_id_in_block) for w in block.warps]
+            if not times:
+                continue
+            critical_id = max(times)[1]
+            for key, record in self._samples.items():
+                if key[1] != block.block_id:
+                    continue
+                total_samples += record.samples
+                if len(block.warps) <= 2:
+                    correct += record.samples
+                else:
+                    correct += record.flagged_slow.get(critical_id, 0)
+        return correct / total_samples if total_samples else 1.0

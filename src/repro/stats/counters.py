@@ -1,0 +1,109 @@
+"""Run-level results: IPC, MPKI, and aggregated cache statistics."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..memory.cache import CacheStats
+
+
+def replace_stats(stats: CacheStats) -> CacheStats:
+    """Shallow copy of a :class:`CacheStats` (snapshot for launch deltas)."""
+    return dataclasses.replace(stats)
+
+
+def subtract_stats(now: CacheStats, before: CacheStats) -> CacheStats:
+    """Field-wise ``now - before`` of two cumulative counters."""
+    delta = CacheStats()
+    for field_info in dataclasses.fields(CacheStats):
+        name = field_info.name
+        setattr(delta, name, getattr(now, name) - getattr(before, name))
+    return delta
+
+
+def merge_cache_stats(parts: List[CacheStats]) -> CacheStats:
+    """Sum per-SM cache counters into one aggregate."""
+    total = CacheStats()
+    for part in parts:
+        total.accesses += part.accesses
+        total.hits += part.hits
+        total.misses += part.misses
+        total.bypasses += part.bypasses
+        total.critical_accesses += part.critical_accesses
+        total.critical_hits += part.critical_hits
+        total.evictions += part.evictions
+        total.zero_reuse_evictions += part.zero_reuse_evictions
+        total.critical_fill_evictions += part.critical_fill_evictions
+        total.critical_zero_reuse_evictions += part.critical_zero_reuse_evictions
+    return total
+
+
+@dataclass
+class RunResult:
+    """Everything a launch produced, ready for the experiment harness.
+
+    ``blocks`` keeps the committed :class:`~repro.simt.block.ThreadBlock`
+    objects (with their warps) so disparity and criticality analyses can be
+    run after the fact; ``extra`` carries observer outputs such as reuse
+    profiles or the Fig 12 priority trace.
+    """
+
+    kernel_name: str
+    scheme: str
+    cycles: float
+    thread_instructions: int
+    warp_instructions: int
+    l1_stats: CacheStats
+    l2_stats: CacheStats
+    blocks: List = field(default_factory=list)
+    dram_accesses: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    #: Lanes per warp, used by :attr:`simd_efficiency` (set at collection).
+    warp_size: int = 32
+
+    @property
+    def ipc(self) -> float:
+        """Thread-level instructions per cycle (the paper's IPC metric)."""
+        return self.thread_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Mean fraction of lanes active per issued warp instruction.
+
+        1.0 means no divergence / no partial warps; branch-divergent
+        workloads (Section 2.2.2) sit well below it.
+        """
+        if not self.warp_instructions:
+            return 0.0
+        return self.thread_instructions / (self.warp_instructions * self.warp_size)
+
+    @property
+    def l1_mpki(self) -> float:
+        """L1D misses per kilo (thread) instruction."""
+        if not self.thread_instructions:
+            return 0.0
+        return 1000.0 * self.l1_stats.misses / self.thread_instructions
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_stats.hit_rate
+
+    @property
+    def critical_hit_rate(self) -> float:
+        return self.l1_stats.critical_hit_rate
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """IPC speedup of this run relative to ``baseline``."""
+        if self.ipc == 0 or baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def summary(self) -> str:
+        return (
+            f"{self.kernel_name:<16} {self.scheme:<14} cycles={self.cycles:>10.0f} "
+            f"IPC={self.ipc:7.3f} L1 hit={self.l1_hit_rate:6.2%} "
+            f"MPKI={self.l1_mpki:7.2f}"
+        )

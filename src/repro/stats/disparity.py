@@ -1,0 +1,73 @@
+"""Warp execution-time disparity analysis (paper Figures 1 and 2).
+
+Disparity of a thread block is the gap between its slowest (critical) and
+fastest warps.  ``relative_to="max"`` expresses the gap as a fraction of the
+critical warp's time (bounded by 1; used for the Figure 1 bars);
+``relative_to="min"`` expresses it as a fraction of the fastest warp's time
+(the paper's Figure 2a phrasing: "approximately 20% of the fastest warp's
+execution time").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def warp_time_profile(block) -> List[float]:
+    """Per-warp execution times of a committed block, ascending."""
+    return sorted(block.warp_execution_times())
+
+
+def block_disparity(block, relative_to: str = "max") -> Optional[float]:
+    """Fast-vs-slow warp gap for one block; None for single-warp blocks."""
+    times = warp_time_profile(block)
+    if len(times) < 2:
+        return None
+    fastest, slowest = times[0], times[-1]
+    if slowest <= 0:
+        return 0.0
+    if relative_to == "max":
+        return (slowest - fastest) / slowest
+    if relative_to == "min":
+        return (slowest - fastest) / fastest if fastest > 0 else float("inf")
+    raise ValueError(f"relative_to must be 'max' or 'min', got {relative_to!r}")
+
+
+def max_block_disparity(result, relative_to: str = "max") -> float:
+    """Highest per-block disparity in a run (the Figure 1 metric)."""
+    best = 0.0
+    for block in result.blocks:
+        d = block_disparity(block, relative_to)
+        if d is not None and d > best:
+            best = d
+    return best
+
+
+def mean_block_disparity(result, relative_to: str = "max") -> float:
+    """Mean per-block disparity over blocks with at least two warps."""
+    values = [
+        d
+        for block in result.blocks
+        if (d := block_disparity(block, relative_to)) is not None
+    ]
+    return sum(values) / len(values) if values else 0.0
+
+
+def critical_warp_of(block):
+    """The slowest warp of a committed block."""
+    return max(block.warps, key=lambda w: w.execution_time)
+
+
+def memory_stall_share(warp) -> float:
+    """Fraction of a warp's execution time spent stalled on memory."""
+    t = warp.execution_time
+    return warp.mem_stall_cycles / t if t > 0 else 0.0
+
+
+def scheduler_stall_share(warp) -> float:
+    """Fraction of a warp's execution time that is scheduler-induced wait.
+
+    The warp was ready to issue but not selected — the Figure 4 metric.
+    """
+    t = warp.execution_time
+    return warp.sched_stall_cycles / t if t > 0 else 0.0

@@ -1,0 +1,62 @@
+"""Serialize run results and sweeps to JSON / CSV for external analysis."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Dict, Tuple
+
+from .counters import RunResult
+
+#: Scalar metrics exported for each run.
+METRIC_FIELDS = (
+    "cycles",
+    "thread_instructions",
+    "warp_instructions",
+    "ipc",
+    "simd_efficiency",
+    "l1_mpki",
+    "l1_hit_rate",
+    "critical_hit_rate",
+    "dram_accesses",
+)
+
+
+def result_to_dict(result: RunResult) -> Dict:
+    """Flatten a :class:`RunResult` into JSON-ready primitives."""
+    out = {
+        "kernel": result.kernel_name,
+        "scheme": result.scheme,
+    }
+    for name in METRIC_FIELDS:
+        out[name] = getattr(result, name)
+    out["l1"] = dataclasses.asdict(result.l1_stats)
+    out["l2"] = dataclasses.asdict(result.l2_stats)
+    out["blocks"] = [
+        {
+            "block_id": block.block_id,
+            "dispatch_cycle": block.dispatch_cycle,
+            "commit_cycle": block.commit_cycle,
+            "warp_execution_times": block.warp_execution_times(),
+        }
+        for block in result.blocks
+    ]
+    return out
+
+
+def result_to_json(result: RunResult, indent: int = 2) -> str:
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def sweep_to_csv(results: Dict[Tuple[str, str], RunResult]) -> str:
+    """Render a (workload, scheme) -> result mapping as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(("workload", "scheme") + METRIC_FIELDS)
+    for (workload, scheme), result in sorted(results.items()):
+        writer.writerow(
+            [workload, scheme] + [getattr(result, name) for name in METRIC_FIELDS]
+        )
+    return buffer.getvalue()

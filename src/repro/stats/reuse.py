@@ -1,0 +1,97 @@
+"""Reuse-distance (LRU stack distance) profiling — paper Figures 3 and 8.
+
+Subscribes to a cache's access stream and computes, per re-reference, the
+number of distinct lines touched since the previous access to the same line.
+A re-reference whose stack distance exceeds the cache's line capacity would
+miss in a fully-associative LRU cache of that size — the paper's "evicted
+before re-reference" criterion for critical warp data.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Histogram bucket upper bounds (in distinct lines); the last bucket is
+#: unbounded and "no reuse" is tracked separately.
+BUCKETS = (8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass
+class ReuseProfile:
+    """Reuse-distance histogram for one access class."""
+
+    histogram: List[int] = field(default_factory=lambda: [0] * (len(BUCKETS) + 1))
+    references: int = 0
+    rereferences: int = 0
+
+    def record(self, distance: int) -> None:
+        self.rereferences += 1
+        for i, bound in enumerate(BUCKETS):
+            if distance < bound:
+                self.histogram[i] += 1
+                return
+        self.histogram[-1] += 1
+
+    def fraction_beyond(self, capacity_lines: int) -> float:
+        """Fraction of re-references with stack distance >= capacity."""
+        if not self.rereferences:
+            return 0.0
+        # A bucket counts as "beyond" when its whole range lies at or past
+        # the capacity; the open-ended final bucket always does.
+        beyond = self.histogram[-1]
+        lower = 0
+        for i, bound in enumerate(BUCKETS):
+            if lower >= capacity_lines:
+                beyond += self.histogram[i]
+            lower = bound
+        return beyond / self.rereferences
+
+
+class ReuseDistanceProfiler:
+    """Cache observer computing stack distances per criticality class and PC."""
+
+    def __init__(self) -> None:
+        self._stack: "OrderedDict[int, None]" = OrderedDict()
+        self._last_owner_critical: Dict[int, bool] = {}
+        self.critical = ReuseProfile()
+        self.non_critical = ReuseProfile()
+        self.by_pc: Dict[int, ReuseProfile] = {}
+        self._fill_pc: Dict[int, int] = {}
+
+    # Cache observer interface -----------------------------------------
+    def on_access(self, req, hit: bool, line) -> None:
+        addr = req.line_addr
+        profile = self.critical if req.is_critical else self.non_critical
+        profile.references += 1
+        pc_profile = self.by_pc.setdefault(req.pc, ReuseProfile())
+        pc_profile.references += 1
+
+        if addr in self._stack:
+            distance = self._distance(addr)
+            profile.record(distance)
+            fill_pc = self._fill_pc.get(addr, req.pc)
+            self.by_pc.setdefault(fill_pc, ReuseProfile()).record(distance)
+            self._stack.move_to_end(addr)
+        else:
+            self._stack[addr] = None
+            self._fill_pc[addr] = req.pc
+        self._last_owner_critical[addr] = req.is_critical
+        # Bound profiler memory on streaming workloads.
+        while len(self._stack) > 65536:
+            old, _ = self._stack.popitem(last=False)
+            self._fill_pc.pop(old, None)
+            self._last_owner_critical.pop(old, None)
+
+    def on_evict(self, line) -> None:  # stack distance ignores evictions
+        pass
+
+    def _distance(self, addr: int) -> int:
+        # Position from the MRU end of the stack.
+        distance = 0
+        for key in reversed(self._stack):
+            if key == addr:
+                return distance
+            distance += 1
+        return distance

@@ -1,0 +1,91 @@
+"""backprop — neural-network layer forward pass (Rodinia).
+
+One thread per output unit: a fixed-length dot product of the input vector
+(broadcast, cacheable) with a streamed weight column, squashed by a
+sigmoid.  Work is perfectly uniform and the weight matrix has no reuse, so
+execution-time disparity is low and the L1 barely matters — a Non-sens
+application in Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CmpOp, Special
+from ..isa.kernel import KernelBuilder
+from .base import LaunchSpec, Workload
+
+
+class BackpropWorkload(Workload):
+    name = "backprop"
+    category = "Non-sens"
+    dataset = "64-input layer, 2048 output units (65536 nodes in the paper)"
+
+    def __init__(
+        self,
+        seed: int = 31,
+        scale: float = 1.0,
+        num_inputs: int = 64,
+        num_outputs: int = 2048,
+        block_dim: int = 256,
+    ) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.num_inputs = num_inputs
+        self.num_outputs = self._int(num_outputs)
+        self.block_dim = block_dim
+
+    def build(self, gpu) -> LaunchSpec:
+        n_in, n_out = self.num_inputs, self.num_outputs
+        inputs = self.rng.rand(n_in) - 0.5
+        weights = (self.rng.rand(n_in, n_out) - 0.5) * 0.25  # input-major
+
+        mem = gpu.memory
+        base_in = mem.alloc_array(inputs)
+        base_w = mem.alloc_array(weights)
+        base_out = mem.alloc_array(np.zeros(n_out))
+
+        b = KernelBuilder("backprop")
+        tid = b.sreg(Special.GTID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(n_out))
+        with b.if_then(in_range):
+            acc = b.const(0.0)
+            i = b.const(0.0)
+            w_addr = b.addr(tid, base=base_w, scale=8)
+            in_addr = b.const(float(base_in))
+            done = b.pred()
+            with b.loop() as dot:
+                b.setp(done, CmpOp.GE, i, float(n_in))
+                dot.break_if(done)
+                x = b.ld(in_addr)
+                w = b.ld(w_addr)
+                b.mad(acc, x, w, acc)
+                b.add(in_addr, in_addr, 8.0)
+                b.add(w_addr, w_addr, float(n_out * 8))
+                b.add(i, i, 1.0)
+            # sigmoid(acc) = 1 / (1 + exp(-acc))
+            neg = b.reg()
+            b.neg(neg, acc)
+            e = b.reg()
+            b.exp(e, neg)
+            denom = b.reg()
+            b.add(denom, e, 1.0)
+            sig = b.reg()
+            b.rcp(sig, denom)
+            b.st(b.addr(tid, base=base_out, scale=8), sig)
+        kernel = b.build()
+
+        grid_dim = (n_out + self.block_dim - 1) // self.block_dim
+
+        def verifier(gpu_) -> bool:
+            out = gpu_.memory.read_array(base_out, n_out)
+            expected = 1.0 / (1.0 + np.exp(-(inputs @ weights)))
+            return bool(np.allclose(out, expected, atol=1e-9))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            buffers={"inputs": base_in, "weights": base_w, "out": base_out},
+            verifier=verifier,
+        )

@@ -1,0 +1,67 @@
+"""Workload interface shared by all benchmark re-implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..gpu import GPU
+from ..stats.counters import RunResult
+
+
+@dataclass
+class LaunchSpec:
+    """Everything needed to launch and verify one kernel run."""
+
+    kernel: object
+    grid_dim: int
+    block_dim: int
+    #: Buffer name -> base byte address in the GPU's global memory.
+    buffers: Dict[str, int] = field(default_factory=dict)
+    #: Optional verifier run after the launch; returns True on success.
+    verifier: Optional[Callable[[GPU], bool]] = None
+
+    def verify(self, gpu: GPU) -> bool:
+        if self.verifier is None:
+            return True
+        return self.verifier(gpu)
+
+
+class Workload:
+    """One benchmark: input generation, kernel construction, verification.
+
+    Subclasses set :attr:`name`, :attr:`category` (``"Sens"`` or
+    ``"Non-sens"``, Table 2), and :attr:`dataset` (a human-readable summary
+    of the synthetic input standing in for the paper's dataset), and
+    implement :meth:`build`.
+    """
+
+    name = "workload"
+    category = "Sens"
+    dataset = ""
+
+    def __init__(self, seed: int = 7, scale: float = 1.0) -> None:
+        #: Seeded generator: every run of a workload sees identical inputs,
+        #: so scheme comparisons are apples-to-apples.
+        self.seed = seed
+        #: Input-size multiplier for quick-vs-thorough sweeps.
+        self.scale = scale
+        self.rng = np.random.RandomState(seed)
+
+    def build(self, gpu: GPU) -> LaunchSpec:
+        """Allocate inputs in ``gpu.memory`` and construct the kernel."""
+        raise NotImplementedError
+
+    def run(self, gpu: GPU, scheme: str = "", check: bool = True) -> RunResult:
+        """Build, launch, and (optionally) verify on ``gpu``."""
+        spec = self.build(gpu)
+        result = gpu.launch(spec.kernel, spec.grid_dim, spec.block_dim, scheme=scheme)
+        if check and not spec.verify(gpu):
+            raise AssertionError(f"{self.name}: functional verification failed")
+        return result
+
+    def _int(self, value: float) -> int:
+        """Scale an integral size parameter, keeping it at least 1."""
+        return max(1, int(round(value * self.scale)))

@@ -1,0 +1,144 @@
+"""bfs — breadth-first search frontier expansion (Rodinia).
+
+The paper's running example (Algorithm 1): every thread owns a frontier
+node and walks its adjacency list, taking the child path for unvisited
+neighbours and the non-child path otherwise.  Warp criticality arises from
+
+* **workload imbalance** — a power-law degree distribution gives warps
+  different trip counts (Fig 2a); the ``balanced=True`` variant uses a
+  constant degree to isolate the next effect;
+* **diverging branches** — the child/non-child if-else bodies differ in
+  length, so dynamic instruction counts diverge even with equal degrees
+  (Fig 2b);
+* **irregular memory** — neighbour ids and the visited array are scattered,
+  so accesses coalesce poorly and hammer the L1 (Fig 2c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CmpOp, Special
+from ..isa.kernel import KernelBuilder
+from .base import LaunchSpec, Workload
+
+
+class BFSWorkload(Workload):
+    name = "bfs"
+    category = "Sens"
+    dataset = "2048-node power-law graph (65536 nodes in the paper, scaled)"
+
+    def __init__(
+        self,
+        seed: int = 7,
+        scale: float = 1.0,
+        balanced: bool = False,
+        num_nodes: int = 2048,
+        avg_degree: int = 8,
+        block_dim: int = 256,
+    ) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.balanced = balanced
+        self.num_nodes = self._int(num_nodes)
+        self.avg_degree = avg_degree
+        self.block_dim = block_dim
+
+    # ------------------------------------------------------------------
+    def _make_graph(self):
+        n = self.num_nodes
+        if self.balanced:
+            degrees = np.full(n, self.avg_degree, dtype=np.int64)
+        else:
+            # Power-law-ish degrees with the same mean as the balanced case.
+            raw = self.rng.zipf(1.6, size=n).astype(np.int64)
+            degrees = np.clip(raw, 1, 8 * self.avg_degree)
+            scale = self.avg_degree / max(1.0, degrees.mean())
+            degrees = np.maximum(1, (degrees * scale).astype(np.int64))
+        row_ptr = np.zeros(n + 1, dtype=np.int64)
+        row_ptr[1:] = np.cumsum(degrees)
+        col_idx = self.rng.randint(0, n, size=int(row_ptr[-1])).astype(np.int64)
+        return row_ptr, col_idx
+
+    def build(self, gpu) -> LaunchSpec:
+        n = self.num_nodes
+        row_ptr, col_idx = self._make_graph()
+        # Frontier = one quarter of the nodes; they are already visited.
+        frontier = (self.rng.rand(n) < 0.25).astype(np.float64)
+        visited = frontier.copy()
+
+        mem = gpu.memory
+        base_row = mem.alloc_array(row_ptr.astype(np.float64))
+        base_col = mem.alloc_array(col_idx.astype(np.float64))
+        base_frontier = mem.alloc_array(frontier)
+        base_visited = mem.alloc_array(visited)
+        base_cost = mem.alloc_array(np.zeros(n))
+        base_updating = mem.alloc_array(np.zeros(n))
+        base_nchild = mem.alloc_array(np.zeros(n))
+
+        b = KernelBuilder("bfs")
+        tid = b.sreg(Special.GTID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(n))
+        with b.if_then(in_range):
+            fr = b.ld(b.addr(tid, base=base_frontier, scale=8))
+            is_frontier = b.pred()
+            b.setp(is_frontier, CmpOp.GT, fr, 0.5)
+            with b.if_then(is_frontier):
+                start = b.ld(b.addr(tid, base=base_row, scale=8))
+                end = b.ld(b.addr(tid, base=base_row, scale=8, ), offset=8)
+                nchild = b.const(0.0)
+                nnonchild = b.const(0.0)
+                j = b.reg()
+                b.mov(j, start)
+                done = b.pred()
+                with b.loop() as lp:
+                    b.setp(done, CmpOp.GE, j, end)
+                    lp.break_if(done)
+                    nb = b.ld(b.addr(j, base=base_col, scale=8))
+                    vis = b.ld(b.addr(nb, base=base_visited, scale=8))
+                    unvisited = b.pred()
+                    b.setp(unvisited, CmpOp.LT, vis, 0.5)
+                    frame = b.begin_if(unvisited)
+                    # Child path (longer): set cost, mark updating, count.
+                    one = b.const(1.0)
+                    b.st(b.addr(nb, base=base_cost, scale=8), one)
+                    b.st(b.addr(nb, base=base_updating, scale=8), one)
+                    b.add(nchild, nchild, 1.0)
+                    b.begin_else(frame)
+                    # Non-child path (shorter).
+                    b.add(nnonchild, nnonchild, 1.0)
+                    b.end_if(frame)
+                    b.add(j, j, 1.0)
+                b.st(b.addr(tid, base=base_nchild, scale=8), nchild)
+        kernel = b.build()
+
+        grid_dim = (n + self.block_dim - 1) // self.block_dim
+
+        def verifier(gpu_) -> bool:
+            updating = gpu_.memory.read_array(base_updating, n)
+            cost = gpu_.memory.read_array(base_cost, n)
+            expected = np.zeros(n)
+            for node in np.nonzero(frontier > 0.5)[0]:
+                for edge in range(int(row_ptr[node]), int(row_ptr[node + 1])):
+                    neighbour = int(col_idx[edge])
+                    if visited[neighbour] < 0.5:
+                        expected[neighbour] = 1.0
+            return bool(
+                np.array_equal(updating, expected) and np.array_equal(cost, expected)
+            )
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            buffers={
+                "row_ptr": base_row,
+                "col_idx": base_col,
+                "frontier": base_frontier,
+                "visited": base_visited,
+                "cost": base_cost,
+                "updating": base_updating,
+                "nchild": base_nchild,
+            },
+            verifier=verifier,
+        )

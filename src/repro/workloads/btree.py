@@ -1,0 +1,131 @@
+"""b+tree — batched key lookups descending a B+ tree (Rodinia).
+
+Each thread resolves one query by walking the tree from the root: at every
+level it scans the node's keys until the query key is smaller (an early-exit
+loop — thread-level divergence), then follows the child pointer.  The top
+levels are shared by every thread (heavy *inter-warp* reuse, which the paper
+notes CACP does not capture — b+tree is one of the two applications that
+regress slightly under full CAWA), while leaf-level nodes scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CmpOp, Special
+from ..isa.kernel import KernelBuilder
+from .base import LaunchSpec, Workload
+
+
+class BTreeWorkload(Workload):
+    name = "b+tree"
+    category = "Sens"
+    dataset = "order-8 tree, depth 4, 2048 queries (1M nodes in the paper)"
+
+    def __init__(
+        self,
+        seed: int = 13,
+        scale: float = 1.0,
+        fanout: int = 8,
+        depth: int = 4,
+        num_queries: int = 2048,
+        block_dim: int = 256,
+    ) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.fanout = fanout
+        self.depth = depth
+        self.num_queries = self._int(num_queries)
+        self.block_dim = block_dim
+
+    def _make_tree(self):
+        """Key arrays per level, flattened level-major.
+
+        Level ``l`` has ``fanout**l`` nodes of ``fanout`` keys each.  Keys
+        are the standard B+ tree separators over [0, fanout**depth).
+        """
+        levels = []
+        for level in range(self.depth):
+            num_nodes = self.fanout**level
+            span = self.fanout ** (self.depth - level)  # key range per node
+            child_span = span // self.fanout
+            nodes = np.zeros((num_nodes, self.fanout))
+            for node in range(num_nodes):
+                start = node * span
+                # Separator i is the lower bound of child i+1.
+                nodes[node] = start + child_span * (np.arange(self.fanout) + 1)
+            levels.append(nodes.ravel())
+        return levels
+
+    def build(self, gpu) -> LaunchSpec:
+        fanout, depth = self.fanout, self.depth
+        levels = self._make_tree()
+        queries = self.rng.randint(0, fanout**depth, size=self.num_queries).astype(
+            np.float64
+        )
+
+        mem = gpu.memory
+        level_bases = [mem.alloc_array(level) for level in levels]
+        base_queries = mem.alloc_array(queries)
+        base_out = mem.alloc_array(np.zeros(self.num_queries))
+        # Level base addresses live in memory so the kernel can index them.
+        base_level_table = mem.alloc_array(np.array(level_bases, dtype=np.float64))
+
+        b = KernelBuilder("b+tree")
+        tid = b.sreg(Special.GTID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(self.num_queries))
+        with b.if_then(in_range):
+            query = b.ld(b.addr(tid, base=base_queries, scale=8))
+            node = b.const(0.0)  # node index within the current level
+            level = b.const(0.0)
+            level_done = b.pred()
+            with b.loop() as walk:
+                b.setp(level_done, CmpOp.GE, level, float(depth))
+                walk.break_if(level_done)
+                level_base = b.ld(b.addr(level, base=base_level_table, scale=8))
+                # Byte address of this node's first key.
+                key_addr = b.reg()
+                b.mad(key_addr, node, float(fanout * 8), level_base)
+                slot = b.const(0.0)
+                scan_done = b.pred()
+                with b.loop() as scan:
+                    # Early exit: stop at the first separator > query, or
+                    # after the last key (rightmost child).
+                    b.setp(scan_done, CmpOp.GE, slot, float(fanout - 1))
+                    scan.break_if(scan_done)
+                    key = b.ld(key_addr)
+                    smaller = b.pred()
+                    b.setp(smaller, CmpOp.LT, query, key)
+                    scan.break_if(smaller)
+                    b.add(slot, slot, 1.0)
+                    b.add(key_addr, key_addr, 8.0)
+                b.mad(node, node, float(fanout), slot)
+                b.add(level, level, 1.0)
+            b.st(b.addr(tid, base=base_out, scale=8), node)
+        kernel = b.build()
+
+        grid_dim = (self.num_queries + self.block_dim - 1) // self.block_dim
+
+        def verifier(gpu_) -> bool:
+            out = gpu_.memory.read_array(base_out, self.num_queries)
+            expected = np.zeros(self.num_queries)
+            for i, q in enumerate(queries):
+                node = 0
+                for level in range(depth):
+                    keys = levels[level][node * fanout : (node + 1) * fanout]
+                    slot = fanout - 1
+                    for j in range(fanout - 1):
+                        if q < keys[j]:
+                            slot = j
+                            break
+                    node = node * fanout + slot
+                expected[i] = node
+            return bool(np.array_equal(out, expected))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            buffers={"queries": base_queries, "out": base_out},
+            verifier=verifier,
+        )

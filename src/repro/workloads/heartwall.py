@@ -1,0 +1,141 @@
+"""heartwall — iterative template tracking on an image (Rodinia).
+
+Each thread tracks one sample point: it repeatedly evaluates a
+sum-of-squared-differences between a small template and the image window
+around its current estimate, then moves the estimate by the sign of the
+error gradient until the match converges or an iteration cap is reached.
+Convergence speed depends on the local image content, so warps need very
+different iteration counts — the workload-imbalance criticality source with
+a large kernel body (the paper notes CPL outperforms oracle CAWS on large
+kernels like heartwall).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CmpOp, Special
+from ..isa.kernel import KernelBuilder
+from .base import LaunchSpec, Workload
+
+
+class HeartwallWorkload(Workload):
+    name = "heartwall"
+    category = "Sens"
+    dataset = "4096-pixel frame, 512 tracking points (656x744 AVI in the paper)"
+
+    def __init__(
+        self,
+        seed: int = 17,
+        scale: float = 1.0,
+        image_size: int = 4096,
+        num_points: int = 512,
+        template_size: int = 8,
+        max_iters: int = 24,
+        block_dim: int = 128,
+    ) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.image_size = self._int(image_size)
+        self.num_points = self._int(num_points)
+        self.template_size = template_size
+        self.max_iters = max_iters
+        self.block_dim = block_dim
+
+    def build(self, gpu) -> LaunchSpec:
+        n, t = self.num_points, self.template_size
+        image = self.rng.rand(self.image_size)
+        template = self.rng.rand(t)
+        # Start each point somewhere with room to walk in both directions.
+        starts = self.rng.randint(
+            t, self.image_size - t - self.max_iters - 1, size=n
+        ).astype(np.float64)
+        # Plant perfect template matches at varying distances from the
+        # starts, so convergence (and hence iteration count) varies widely.
+        offsets = self.rng.randint(0, self.max_iters, size=n)
+        for i in range(n):
+            target = int(starts[i]) + int(offsets[i])
+            image[target : target + t] = template
+
+        mem = gpu.memory
+        base_image = mem.alloc_array(image)
+        base_template = mem.alloc_array(template)
+        base_starts = mem.alloc_array(starts)
+        base_pos = mem.alloc_array(np.zeros(n))
+        base_iters = mem.alloc_array(np.zeros(n))
+
+        b = KernelBuilder("heartwall")
+        tid = b.sreg(Special.GTID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(n))
+        with b.if_then(in_range):
+            pos = b.reg()
+            b.mov(pos, b.ld(b.addr(tid, base=base_starts, scale=8)))
+            it = b.const(0.0)
+            done = b.pred()
+            hit_cap = b.pred()
+            with b.loop() as track:
+                b.setp(hit_cap, CmpOp.GE, it, float(self.max_iters))
+                track.break_if(hit_cap)
+                # SSD between template and image window at `pos`.
+                ssd = b.const(0.0)
+                j = b.const(0.0)
+                img_addr = b.addr(pos, base=base_image, scale=8)
+                tpl_addr = b.const(float(base_template))
+                scan_done = b.pred()
+                with b.loop() as scan:
+                    b.setp(scan_done, CmpOp.GE, j, float(t))
+                    scan.break_if(scan_done)
+                    pix = b.ld(img_addr)
+                    ref = b.ld(tpl_addr)
+                    diff = b.reg()
+                    b.sub(diff, pix, ref)
+                    b.mad(ssd, diff, diff, ssd)
+                    b.add(img_addr, img_addr, 8.0)
+                    b.add(tpl_addr, tpl_addr, 8.0)
+                    b.add(j, j, 1.0)
+                b.setp(done, CmpOp.LT, ssd, 1e-12)
+                track.break_if(done)
+                # Not converged: step right towards the planted match.
+                b.add(pos, pos, 1.0)
+                b.add(it, it, 1.0)
+            b.st(b.addr(tid, base=base_pos, scale=8), pos)
+            b.st(b.addr(tid, base=base_iters, scale=8), it)
+        kernel = b.build()
+
+        grid_dim = (n + self.block_dim - 1) // self.block_dim
+
+        def verifier(gpu_) -> bool:
+            pos = gpu_.memory.read_array(base_pos, n)
+            iters = gpu_.memory.read_array(base_iters, n)
+            # Walk the final image exactly as the kernel does: stop at the
+            # first exact template match (overlapping plants may create a
+            # match earlier than this thread's own).
+            expected_pos = np.zeros(n)
+            expected_iters = np.zeros(n)
+            for i in range(n):
+                p = int(starts[i])
+                steps = 0
+                while steps < self.max_iters:
+                    if np.array_equal(image[p : p + t], template):
+                        break
+                    p += 1
+                    steps += 1
+                expected_pos[i] = p
+                expected_iters[i] = steps
+            return bool(
+                np.array_equal(pos, expected_pos)
+                and np.array_equal(iters, expected_iters)
+            )
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            buffers={
+                "image": base_image,
+                "template": base_template,
+                "pos": base_pos,
+                "iters": base_iters,
+            },
+            verifier=verifier,
+        )

@@ -1,0 +1,110 @@
+"""kmeans — cluster membership assignment (Rodinia).
+
+One thread per data point; for every cluster the thread re-reads its
+feature column and accumulates a squared distance.  The feature array is
+re-referenced k times per thread with a reuse distance proportional to the
+number of interleaved warps, so under a fair round-robin scheduler the L1
+thrashes badly — the paper's most cache-sensitive benchmark (CAWA speeds it
+up 3.13x by limiting the active warp set and protecting critical lines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CmpOp, Special
+from ..isa.kernel import KernelBuilder
+from .base import LaunchSpec, Workload
+
+
+class KMeansWorkload(Workload):
+    name = "kmeans"
+    category = "Sens"
+    dataset = "2048 points x 8 features, 8 clusters (494020 nodes in the paper)"
+
+    def __init__(
+        self,
+        seed: int = 11,
+        scale: float = 1.0,
+        num_points: int = 2048,
+        num_features: int = 8,
+        num_clusters: int = 8,
+        block_dim: int = 256,
+    ) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.num_points = self._int(num_points)
+        self.num_features = num_features
+        self.num_clusters = num_clusters
+        self.block_dim = block_dim
+
+    def build(self, gpu) -> LaunchSpec:
+        n, d, k = self.num_points, self.num_features, self.num_clusters
+        features = self.rng.rand(d, n)  # feature-major: coalesced lane reads
+        centroids = self.rng.rand(k, d)
+
+        mem = gpu.memory
+        base_feat = mem.alloc_array(features)
+        base_cent = mem.alloc_array(centroids)
+        base_member = mem.alloc_array(np.zeros(n))
+
+        b = KernelBuilder("kmeans")
+        tid = b.sreg(Special.GTID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(n))
+        with b.if_then(in_range):
+            best = b.const(1e30)
+            best_cluster = b.const(0.0)
+            cluster = b.const(0.0)
+            feat_addr = b.addr(tid, base=base_feat, scale=8)  # column of feature 0
+            cluster_done = b.pred()
+            with b.loop() as outer:
+                b.setp(cluster_done, CmpOp.GE, cluster, float(k))
+                outer.break_if(cluster_done)
+                dist = b.const(0.0)
+                f = b.const(0.0)
+                cent_addr = b.reg()
+                b.mad(cent_addr, cluster, float(d * 8), b.const(float(base_cent)))
+                feat_ptr = b.reg()
+                b.mov(feat_ptr, feat_addr)
+                feat_done = b.pred()
+                with b.loop() as inner:
+                    b.setp(feat_done, CmpOp.GE, f, float(d))
+                    inner.break_if(feat_done)
+                    x = b.ld(feat_ptr)
+                    c = b.ld(cent_addr)
+                    diff = b.reg()
+                    b.sub(diff, x, c)
+                    b.mad(dist, diff, diff, dist)
+                    b.add(feat_ptr, feat_ptr, float(n * 8))  # next feature row
+                    b.add(cent_addr, cent_addr, 8.0)
+                    b.add(f, f, 1.0)
+                closer = b.pred()
+                b.setp(closer, CmpOp.LT, dist, best)
+                b.selp(best, closer, dist, best)
+                b.selp(best_cluster, closer, cluster, best_cluster)
+                b.add(cluster, cluster, 1.0)
+            b.st(b.addr(tid, base=base_member, scale=8), best_cluster)
+        kernel = b.build()
+
+        grid_dim = (n + self.block_dim - 1) // self.block_dim
+
+        def verifier(gpu_) -> bool:
+            member = gpu_.memory.read_array(base_member, n)
+            # argmin over clusters of squared distance, first-wins ties
+            dists = (
+                (features[None, :, :] - centroids[:, :, None]) ** 2
+            ).sum(axis=1)  # (k, n)
+            expected = np.argmin(dists, axis=0).astype(np.float64)
+            return bool(np.array_equal(member, expected))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            buffers={
+                "features": base_feat,
+                "centroids": base_cent,
+                "membership": base_member,
+            },
+            verifier=verifier,
+        )

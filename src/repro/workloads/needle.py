@@ -1,0 +1,127 @@
+"""needle — Needleman-Wunsch wavefront DP (Rodinia).
+
+Each thread block fills one (T+1)x(T+1) dynamic-programming tile in 2T-1
+anti-diagonal steps separated by block barriers; thread ``tx`` owns column
+``tx`` and is predicated on/off as the diagonal sweeps across the tile.
+Blocks hold a single warp (T = warp size), reproducing the paper's footnote
+that needle lacks warp-level parallelism (one or two warps per block), which
+makes CPL's criticality prediction trivially correct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CmpOp, Special
+from ..isa.kernel import KernelBuilder
+from .base import LaunchSpec, Workload
+
+
+class NeedleWorkload(Workload):
+    name = "needle"
+    category = "Sens"
+    dataset = "16 independent 32x32 DP tiles (1024x1024 in the paper)"
+
+    def __init__(
+        self,
+        seed: int = 19,
+        scale: float = 1.0,
+        tile: int = 32,
+        num_tiles: int = 16,
+        penalty: float = 10.0,
+    ) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.tile = tile
+        self.num_tiles = self._int(num_tiles)
+        self.penalty = penalty
+
+    def build(self, gpu) -> LaunchSpec:
+        t = self.tile
+        stride = t + 1
+        num_tiles = self.num_tiles
+        # Reference (substitution score) matrix per tile, plus the DP matrix
+        # with its first row/column pre-initialized with gap penalties.
+        refs = self.rng.randint(-4, 5, size=(num_tiles, t, t)).astype(np.float64)
+        mats = np.zeros((num_tiles, stride, stride))
+        for k in range(num_tiles):
+            mats[k, 0, :] = -self.penalty * np.arange(stride)
+            mats[k, :, 0] = -self.penalty * np.arange(stride)
+
+        mem = gpu.memory
+        base_ref = mem.alloc_array(refs)
+        base_mat = mem.alloc_array(mats)
+
+        b = KernelBuilder("needle")
+        tx = b.sreg(Special.TID)
+        cta = b.sreg(Special.CTAID)
+        mat_base = b.reg()
+        b.mad(mat_base, cta, float(stride * stride * 8), b.const(float(base_mat)))
+        ref_base = b.reg()
+        b.mad(ref_base, cta, float(t * t * 8), b.const(float(base_ref)))
+
+        diag = b.const(0.0)
+        sweep_done = b.pred()
+        row = b.reg()
+        rowclip = b.reg()
+        guard = b.pred()
+        cell = b.reg()
+        col_off = b.reg()
+        b.mul(col_off, tx, 8.0)
+        with b.loop() as sweep:
+            b.setp(sweep_done, CmpOp.GE, diag, float(2 * t - 1))
+            sweep.break_if(sweep_done)
+            # Thread tx computes cell (row, tx) with row = diag - tx, active
+            # only while 0 <= row < t.  Guarded by predication (never
+            # branches) so the barrier below stays warp-uniform.  Inactive
+            # lanes keep a clipped row so their (unused) addresses stay in
+            # bounds.
+            b.sub(row, diag, tx)
+            b.max_(rowclip, row, 0.0)
+            b.min_(rowclip, rowclip, float(t - 1))
+            # guard = (row >= 0) AND (row < t): equivalently row == rowclip.
+            b.setp(guard, CmpOp.EQ, row, rowclip)
+            # addr of m[row+1][tx+1]
+            b.mad(cell, rowclip, float(stride * 8), mat_base)
+            b.add(cell, cell, float((stride + 1) * 8))
+            b.add(cell, cell, col_off)
+            nw = b.ld(cell, offset=-(stride + 1) * 8, pred=guard)
+            north = b.ld(cell, offset=-stride * 8, pred=guard)
+            west = b.ld(cell, offset=-8, pred=guard)
+            refa = b.reg()
+            b.mad(refa, rowclip, float(t * 8), ref_base)
+            b.add(refa, refa, col_off)
+            score = b.ld(refa, pred=guard)
+            best = b.reg()
+            b.add(best, nw, score, pred=guard)
+            cand = b.reg()
+            b.sub(cand, north, self.penalty, pred=guard)
+            b.max_(best, best, cand, pred=guard)
+            b.sub(cand, west, self.penalty, pred=guard)
+            b.max_(best, best, cand, pred=guard)
+            b.st(cell, best, pred=guard)
+            b.bar()
+            b.add(diag, diag, 1.0)
+
+        kernel = b.build()
+
+        def verifier(gpu_) -> bool:
+            out = gpu_.memory.read_array(base_mat, num_tiles * stride * stride)
+            out = out.reshape(num_tiles, stride, stride)
+            expected = mats.copy()
+            for k in range(num_tiles):
+                for i in range(1, stride):
+                    for j in range(1, stride):
+                        expected[k, i, j] = max(
+                            expected[k, i - 1, j - 1] + refs[k, i - 1, j - 1],
+                            expected[k, i - 1, j] - self.penalty,
+                            expected[k, i, j - 1] - self.penalty,
+                        )
+            return bool(np.allclose(out, expected))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=num_tiles,
+            block_dim=t,
+            buffers={"ref": base_ref, "mat": base_mat},
+            verifier=verifier,
+        )

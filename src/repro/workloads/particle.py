@@ -1,0 +1,92 @@
+"""particle — particle-filter likelihood evaluation (Rodinia particlefilter).
+
+One thread per particle: a fixed-length loop over observation points
+computing a Gaussian likelihood with SFU-heavy math (exp, sqrt).  Uniform
+trip counts and coalesced per-observation accesses make it compute-bound
+and criticality-flat — Non-sens in Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CmpOp, Special
+from ..isa.kernel import KernelBuilder
+from .base import LaunchSpec, Workload
+
+
+class ParticleWorkload(Workload):
+    name = "particle"
+    category = "Non-sens"
+    dataset = "1024 particles x 32 observations (128x128x10 in the paper)"
+
+    def __init__(
+        self,
+        seed: int = 37,
+        scale: float = 1.0,
+        num_particles: int = 1024,
+        num_obs: int = 32,
+        block_dim: int = 256,
+    ) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.num_particles = self._int(num_particles)
+        self.num_obs = num_obs
+        self.block_dim = block_dim
+
+    def build(self, gpu) -> LaunchSpec:
+        n, m = self.num_particles, self.num_obs
+        # Observation-major samples so lane accesses coalesce.
+        samples = self.rng.rand(m, n)
+        measurements = self.rng.rand(m)
+
+        mem = gpu.memory
+        base_samples = mem.alloc_array(samples)
+        base_meas = mem.alloc_array(measurements)
+        base_weight = mem.alloc_array(np.zeros(n))
+
+        b = KernelBuilder("particle")
+        tid = b.sreg(Special.GTID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(n))
+        with b.if_then(in_range):
+            log_lik = b.const(0.0)
+            i = b.const(0.0)
+            s_addr = b.addr(tid, base=base_samples, scale=8)
+            m_addr = b.const(float(base_meas))
+            done = b.pred()
+            with b.loop() as obs:
+                b.setp(done, CmpOp.GE, i, float(m))
+                obs.break_if(done)
+                s = b.ld(s_addr)
+                z = b.ld(m_addr)
+                diff = b.reg()
+                b.sub(diff, s, z)
+                sq = b.reg()
+                b.mul(sq, diff, diff)
+                b.mad(log_lik, sq, -0.5, log_lik)
+                b.add(s_addr, s_addr, float(n * 8))
+                b.add(m_addr, m_addr, 8.0)
+                b.add(i, i, 1.0)
+            # weight = exp(log_lik / m) (normalized log-likelihood)
+            scaled = b.reg()
+            b.mul(scaled, log_lik, 1.0 / m)
+            w = b.reg()
+            b.exp(w, scaled)
+            b.st(b.addr(tid, base=base_weight, scale=8), w)
+        kernel = b.build()
+
+        grid_dim = (n + self.block_dim - 1) // self.block_dim
+
+        def verifier(gpu_) -> bool:
+            out = gpu_.memory.read_array(base_weight, n)
+            log_lik = (-0.5 * (samples - measurements[:, None]) ** 2).sum(axis=0)
+            expected = np.exp(log_lik / m)
+            return bool(np.allclose(out, expected, atol=1e-9))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            buffers={"samples": base_samples, "weights": base_weight},
+            verifier=verifier,
+        )

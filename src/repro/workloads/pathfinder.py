@@ -1,0 +1,129 @@
+"""pathfinder — row-by-row dynamic programming over a cost grid (Rodinia).
+
+Each thread owns one column of a block-wide stripe; every step it reads the
+previous row's three neighbouring partial sums (clamped at the stripe
+boundary), adds its own cell cost, and synchronizes at a block barrier.
+Uniform loops and coalesced row accesses keep criticality low — Non-sens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CmpOp, Special
+from ..isa.kernel import KernelBuilder
+from .base import LaunchSpec, Workload
+
+
+class PathfinderWorkload(Workload):
+    name = "pathfinder"
+    category = "Non-sens"
+    dataset = "2048 columns x 16 rows (100000 nodes in the paper)"
+
+    def __init__(
+        self,
+        seed: int = 41,
+        scale: float = 1.0,
+        num_cols: int = 2048,
+        num_rows: int = 16,
+        block_dim: int = 256,
+    ) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.num_cols = self._int(num_cols)
+        self.num_rows = num_rows
+        self.block_dim = block_dim
+
+    def build(self, gpu) -> LaunchSpec:
+        cols, rows = self.num_cols, self.num_rows
+        bd = self.block_dim
+        grid = self.rng.randint(1, 10, size=(rows, cols)).astype(np.float64)
+
+        mem = gpu.memory
+        base_grid = mem.alloc_array(grid)
+        # Two row buffers, ping-ponged per DP step.
+        base_row0 = mem.alloc_array(grid[0].copy())
+        base_row1 = mem.alloc_array(np.zeros(cols))
+
+        b = KernelBuilder("pathfinder")
+        tid = b.sreg(Special.GTID)
+        ntid = b.sreg(Special.NTID)
+        ctaid = b.sreg(Special.CTAID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(cols))
+        # Stripe bounds for boundary clamping (each block is independent,
+        # so neighbours are clamped at the stripe edge).
+        lo = b.reg()
+        b.mul(lo, ctaid, ntid)
+        hi = b.reg()
+        b.add(hi, lo, ntid)
+        b.sub(hi, hi, 1.0)
+        b.min_(hi, hi, float(cols - 1))
+
+        left = b.reg()
+        b.max_(left, b.sub(b.reg(), tid, 1.0), lo)
+        right = b.reg()
+        b.min_(right, b.add(b.reg(), tid, 1.0), hi)
+
+        src = b.reg()
+        b.mov(src, float(base_row0))
+        dst = b.reg()
+        b.mov(dst, float(base_row1))
+        row = b.const(1.0)
+        done = b.pred()
+        with b.loop() as dp:
+            b.setp(done, CmpOp.GE, row, float(rows))
+            dp.break_if(done)
+            la = b.reg()
+            b.mad(la, left, 8.0, src)
+            ca = b.reg()
+            b.mad(ca, tid, 8.0, src)
+            ra = b.reg()
+            b.mad(ra, right, 8.0, src)
+            lv = b.ld(la, pred=in_range)
+            cv = b.ld(ca, pred=in_range)
+            rv = b.ld(ra, pred=in_range)
+            best = b.reg()
+            b.min_(best, lv, cv)
+            b.min_(best, best, rv)
+            cost_idx = b.reg()
+            b.mad(cost_idx, row, float(cols), tid)
+            cost = b.ld(b.addr(cost_idx, base=base_grid, scale=8), pred=in_range)
+            total = b.reg()
+            b.add(total, best, cost)
+            da = b.reg()
+            b.mad(da, tid, 8.0, dst)
+            b.st(da, total, pred=in_range)
+            b.bar()
+            # Swap src/dst buffers.
+            tmp = b.reg()
+            b.mov(tmp, src)
+            b.mov(src, dst)
+            b.mov(dst, tmp)
+            b.add(row, row, 1.0)
+        kernel = b.build()
+
+        grid_dim = (cols + bd - 1) // bd
+
+        def verifier(gpu_) -> bool:
+            final_base = base_row0 if (rows - 1) % 2 == 0 else base_row1
+            out = gpu_.memory.read_array(final_base, cols)
+            # Reference DP with per-stripe clamping.
+            prev = grid[0].copy()
+            for r in range(1, rows):
+                cur = np.zeros(cols)
+                for c in range(cols):
+                    stripe_lo = (c // bd) * bd
+                    stripe_hi = min(stripe_lo + bd - 1, cols - 1)
+                    lo_ = max(c - 1, stripe_lo)
+                    hi_ = min(c + 1, stripe_hi)
+                    cur[c] = min(prev[lo_], prev[c], prev[hi_]) + grid[r, c]
+                prev = cur
+            return bool(np.allclose(out, prev))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=grid_dim,
+            block_dim=bd,
+            buffers={"grid": base_grid, "row0": base_row0, "row1": base_row1},
+            verifier=verifier,
+        )

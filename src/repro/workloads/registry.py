@@ -1,0 +1,79 @@
+"""Workload registry mirroring Table 2 of the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .backprop import BackpropWorkload
+from .base import Workload
+from .bfs import BFSWorkload
+from .btree import BTreeWorkload
+from .heartwall import HeartwallWorkload
+from .kmeans import KMeansWorkload
+from .needle import NeedleWorkload
+from .particle import ParticleWorkload
+from .pathfinder import PathfinderWorkload
+from .srad import SradWorkload
+from .streamcluster import StreamclusterWorkload
+from .synthetic import DivergenceWorkload, ImbalanceWorkload, MemStressWorkload
+from .tpacf import TpacfWorkload
+
+WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    # Sens (Table 2): execution-time disparity + L1D sensitivity.
+    "bfs": BFSWorkload,
+    "b+tree": BTreeWorkload,
+    "heartwall": HeartwallWorkload,
+    "kmeans": KMeansWorkload,
+    "needle": NeedleWorkload,
+    "srad_1": SradWorkload,
+    "strcltr_small": lambda **kw: StreamclusterWorkload(variant="small", **kw),
+    # Non-sens (Table 2).
+    "backprop": BackpropWorkload,
+    "particle": ParticleWorkload,
+    "pathfinder": PathfinderWorkload,
+    "strcltr_mid": lambda **kw: StreamclusterWorkload(variant="mid", **kw),
+    "tpacf": TpacfWorkload,
+    # Synthetic microbenchmarks (not part of Table 2).
+    "synthetic_imbalance": ImbalanceWorkload,
+    "synthetic_divergence": DivergenceWorkload,
+    "synthetic_memstress": MemStressWorkload,
+}
+
+#: The paper's seven scheduling/cache-sensitive applications.
+SENS_WORKLOADS: List[str] = [
+    "bfs",
+    "b+tree",
+    "heartwall",
+    "kmeans",
+    "needle",
+    "srad_1",
+    "strcltr_small",
+]
+
+#: The paper's five non-sensitive applications.
+NON_SENS_WORKLOADS: List[str] = [
+    "backprop",
+    "particle",
+    "pathfinder",
+    "strcltr_mid",
+    "tpacf",
+]
+
+
+def workload_names(include_synthetic: bool = False) -> List[str]:
+    """Table 2 workload names, optionally with the synthetic extras."""
+    names = SENS_WORKLOADS + NON_SENS_WORKLOADS
+    if include_synthetic:
+        names += ["synthetic_imbalance", "synthetic_divergence", "synthetic_memstress"]
+    return names
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a workload by its Table 2 name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}"
+        ) from None
+    return factory(**kwargs)

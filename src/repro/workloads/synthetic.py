@@ -1,0 +1,191 @@
+"""Synthetic microbenchmarks isolating one criticality source each.
+
+Used by the Figure 2/4-style decomposition experiments and by unit tests
+that need a workload with a known, controllable criticality structure:
+
+* :class:`ImbalanceWorkload` — per-warp loop trip counts from an input
+  array; pure workload imbalance, no divergence, no memory pressure.
+* :class:`DivergenceWorkload` — lane-parity if/else with asymmetric path
+  lengths; pure branch-divergence-driven instruction disparity.
+* :class:`MemStressWorkload` — strided streaming loads sized to overflow
+  the L1; pure memory-subsystem criticality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import CmpOp, Special
+from ..isa.kernel import KernelBuilder
+from .base import LaunchSpec, Workload
+
+
+class ImbalanceWorkload(Workload):
+    """Each warp spins a compute loop whose trip count comes from memory."""
+
+    name = "synthetic_imbalance"
+    category = "Sens"
+    dataset = "per-warp trip counts 4..64"
+
+    def __init__(self, seed: int = 3, scale: float = 1.0, num_threads: int = 512,
+                 block_dim: int = 256, max_trips: int = 64) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.num_threads = self._int(num_threads)
+        self.block_dim = block_dim
+        self.max_trips = max_trips
+
+    def build(self, gpu) -> LaunchSpec:
+        n = self.num_threads
+        warp = 32
+        # Same trip count for all lanes of a warp: imbalance is *between*
+        # warps, with no intra-warp divergence.
+        warp_trips = self.rng.randint(4, self.max_trips + 1, size=(n + warp - 1) // warp)
+        trips = np.repeat(warp_trips, warp)[:n].astype(np.float64)
+
+        mem = gpu.memory
+        base_trips = mem.alloc_array(trips)
+        base_out = mem.alloc_array(np.zeros(n))
+
+        b = KernelBuilder("synthetic_imbalance")
+        tid = b.sreg(Special.GTID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(n))
+        with b.if_then(in_range):
+            limit = b.ld(b.addr(tid, base=base_trips, scale=8))
+            acc = b.const(0.0)
+            i = b.const(0.0)
+            done = b.pred()
+            with b.loop() as spin:
+                b.setp(done, CmpOp.GE, i, limit)
+                spin.break_if(done)
+                b.mad(acc, i, 2.0, acc)
+                b.add(i, i, 1.0)
+            b.st(b.addr(tid, base=base_out, scale=8), acc)
+        kernel = b.build()
+
+        def verifier(gpu_) -> bool:
+            out = gpu_.memory.read_array(base_out, n)
+            expected = np.array([sum(2 * i for i in range(int(t))) for t in trips])
+            return bool(np.array_equal(out, expected))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=(n + self.block_dim - 1) // self.block_dim,
+            block_dim=self.block_dim,
+            buffers={"trips": base_trips, "out": base_out},
+            verifier=verifier,
+        )
+
+
+class DivergenceWorkload(Workload):
+    """Odd lanes take a long path, even lanes a short one."""
+
+    name = "synthetic_divergence"
+    category = "Sens"
+    dataset = "lane-parity if/else, 24-vs-2 instruction paths"
+
+    def __init__(self, seed: int = 5, scale: float = 1.0, num_threads: int = 512,
+                 block_dim: int = 256, long_path: int = 24) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.num_threads = self._int(num_threads)
+        self.block_dim = block_dim
+        self.long_path = long_path
+
+    def build(self, gpu) -> LaunchSpec:
+        n = self.num_threads
+        mem = gpu.memory
+        base_out = mem.alloc_array(np.zeros(n))
+
+        b = KernelBuilder("synthetic_divergence")
+        tid = b.sreg(Special.GTID)
+        lane = b.sreg(Special.LANEID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(n))
+        with b.if_then(in_range):
+            half = b.reg()
+            b.mul(half, lane, 0.5)
+            b.floor(half, half)
+            parity = b.reg()
+            b.mad(parity, half, -2.0, lane)
+            odd = b.pred()
+            b.setp(odd, CmpOp.GT, parity, 0.5)
+            acc = b.const(0.0)
+            frame = b.begin_if(odd)
+            for step in range(self.long_path):
+                b.add(acc, acc, float(step + 1))
+            b.begin_else(frame)
+            b.add(acc, acc, 1000.0)
+            b.end_if(frame)
+            b.st(b.addr(tid, base=base_out, scale=8), acc)
+        kernel = b.build()
+
+        long_sum = float(sum(range(1, self.long_path + 1)))
+
+        def verifier(gpu_) -> bool:
+            out = gpu_.memory.read_array(base_out, n)
+            lanes = np.arange(n) % 32
+            expected = np.where(lanes % 2 == 1, long_sum, 1000.0)
+            return bool(np.array_equal(out, expected))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=(n + self.block_dim - 1) // self.block_dim,
+            block_dim=self.block_dim,
+            buffers={"out": base_out},
+            verifier=verifier,
+        )
+
+
+class MemStressWorkload(Workload):
+    """Streaming strided loads over a buffer much larger than the L1."""
+
+    name = "synthetic_memstress"
+    category = "Sens"
+    dataset = "512KB stream, 16 passes"
+
+    def __init__(self, seed: int = 9, scale: float = 1.0, num_threads: int = 512,
+                 block_dim: int = 256, passes: int = 16) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.num_threads = self._int(num_threads)
+        self.block_dim = block_dim
+        self.passes = passes
+
+    def build(self, gpu) -> LaunchSpec:
+        n = self.num_threads
+        words = n * self.passes
+        data = self.rng.rand(words)
+        mem = gpu.memory
+        base_data = mem.alloc_array(data)
+        base_out = mem.alloc_array(np.zeros(n))
+
+        b = KernelBuilder("synthetic_memstress")
+        tid = b.sreg(Special.GTID)
+        in_range = b.pred()
+        b.setp(in_range, CmpOp.LT, tid, float(n))
+        with b.if_then(in_range):
+            acc = b.const(0.0)
+            p = b.const(0.0)
+            addr = b.addr(tid, base=base_data, scale=8)
+            done = b.pred()
+            with b.loop() as sweep:
+                b.setp(done, CmpOp.GE, p, float(self.passes))
+                sweep.break_if(done)
+                x = b.ld(addr)
+                b.add(acc, acc, x)
+                b.add(addr, addr, float(n * 8))
+                b.add(p, p, 1.0)
+            b.st(b.addr(tid, base=base_out, scale=8), acc)
+        kernel = b.build()
+
+        def verifier(gpu_) -> bool:
+            out = gpu_.memory.read_array(base_out, n)
+            expected = data.reshape(self.passes, n).sum(axis=0)
+            return bool(np.allclose(out, expected))
+
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=(n + self.block_dim - 1) // self.block_dim,
+            block_dim=self.block_dim,
+            buffers={"data": base_data, "out": base_out},
+            verifier=verifier,
+        )

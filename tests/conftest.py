@@ -1,0 +1,63 @@
+"""Shared fixtures and kernel-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GPU, GPUConfig, KernelBuilder
+from repro.config import CacheConfig
+from repro.isa.instructions import CmpOp, Special
+
+
+@pytest.fixture
+def config():
+    """A small, fast configuration for unit tests."""
+    return GPUConfig.default_sim()
+
+@pytest.fixture
+def tiny_config():
+    """Single-SM configuration for deterministic pipeline tests."""
+    return GPUConfig.default_sim(num_sms=1, num_schedulers_per_sm=1)
+
+
+@pytest.fixture
+def gpu(config):
+    return GPU(config)
+
+
+@pytest.fixture
+def tiny_gpu(tiny_config):
+    return GPU(tiny_config)
+
+
+def build_copy_kernel(n: int, src_base: int, dst_base: int):
+    """out[i] = in[i] for i < n."""
+    b = KernelBuilder("copy")
+    i = b.sreg(Special.GTID)
+    p = b.pred()
+    b.setp(p, CmpOp.LT, i, float(n))
+    with b.if_then(p):
+        x = b.ld(b.addr(i, base=src_base, scale=8))
+        b.st(b.addr(i, base=dst_base, scale=8), x)
+    return b.build()
+
+
+def build_loop_sum_kernel(n: int, trips_base: int, out_base: int):
+    """out[i] = sum_{j<trips[i]} j."""
+    b = KernelBuilder("loop_sum")
+    i = b.sreg(Special.GTID)
+    p = b.pred()
+    b.setp(p, CmpOp.LT, i, float(n))
+    with b.if_then(p):
+        limit = b.ld(b.addr(i, base=trips_base, scale=8))
+        acc = b.const(0.0)
+        j = b.const(0.0)
+        done = b.pred()
+        with b.loop() as lp:
+            b.setp(done, CmpOp.GE, j, limit)
+            lp.break_if(done)
+            b.add(acc, acc, j)
+            b.add(j, j, 1.0)
+        b.st(b.addr(i, base=out_base, scale=8), acc)
+    return b.build()

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nope"])
+
+    def test_run_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workload", "bfs", "--scheme", "fifo"]
+            )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "--workload", "bfs"])
+        assert args.scheme == "rr"
+        assert args.scale == 1.0
+        assert not args.fermi
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs" in out and "cawa" in out and "Non-sens" in out
+
+    def test_run_synthetic(self, capsys):
+        code = main([
+            "run", "--workload", "synthetic_divergence", "--scheme", "gto",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "synthetic_divergence" in out
+        assert "IPC" in out
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--workloads", "synthetic_imbalance",
+            "--schemes", "rr,gto", "--metric", "cycles", "--scale", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "synthetic_imbalance" in out
+
+    def test_sweep_with_speedup_table(self, capsys):
+        code = main([
+            "sweep", "--workloads", "synthetic_imbalance",
+            "--schemes", "rr,gto", "--metric", "ipc", "--scale", "0.5",
+        ])
+        assert code == 0
+        assert "Speedup over rr" in capsys.readouterr().out
+
+    def test_figure_unknown_number(self, capsys):
+        assert main(["figure", "5"]) == 2
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out

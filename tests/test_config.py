@@ -1,0 +1,97 @@
+"""Tests for repro.config (Table 1 parameters and validation)."""
+
+import pytest
+
+from repro.config import CacheConfig, GPUConfig
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_size_bytes(self):
+        cfg = CacheConfig(sets=8, ways=16, line_size=128)
+        assert cfg.size_bytes == 16 * 1024  # the paper's 16KB L1D
+
+    def test_set_index_wraps(self):
+        cfg = CacheConfig(sets=8, ways=4, line_size=128)
+        assert cfg.set_index(0) == 0
+        assert cfg.set_index(128) == 1
+        assert cfg.set_index(128 * 8) == 0
+
+    def test_line_address_alignment(self):
+        cfg = CacheConfig(sets=8, ways=4, line_size=128)
+        assert cfg.line_address(130) == 128
+        assert cfg.line_address(127) == 0
+        assert cfg.line_address(128) == 128
+
+    def test_rejects_nonpositive_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(sets=0, ways=4)
+        with pytest.raises(ConfigError):
+            CacheConfig(sets=-8, ways=4)
+
+    def test_non_power_of_two_sets_allowed_for_banked_l2(self):
+        cfg = CacheConfig(sets=384, ways=16, line_size=128)
+        assert cfg.size_bytes == 768 * 1024
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(sets=8, ways=4, line_size=100)
+
+    def test_rejects_bad_critical_ways(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(sets=8, ways=4, critical_ways=5)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(sets=8, ways=0)
+
+
+class TestGPUConfig:
+    def test_fermi_table1_values(self):
+        cfg = GPUConfig.fermi_gtx480()
+        assert cfg.num_sms == 15
+        assert cfg.max_warps_per_sm == 48
+        assert cfg.max_blocks_per_sm == 8
+        assert cfg.num_schedulers_per_sm == 2
+        assert cfg.registers_per_sm == 32768
+        assert cfg.shared_mem_per_sm == 48 * 1024
+        assert cfg.warp_size == 32
+        assert cfg.l1d.size_bytes == 16 * 1024
+        assert cfg.l1d.sets == 8 and cfg.l1d.ways == 16
+        assert cfg.l2_latency == 120
+        assert cfg.dram_latency == 220
+        assert cfg.l2.size_bytes == 768 * 1024  # Table 1: 768KB unified L2
+        assert cfg.l2_banks == 6
+
+    def test_default_sim_preserves_l1_geometry(self):
+        cfg = GPUConfig.default_sim()
+        assert cfg.l1d.sets == 8
+        assert cfg.l1d.ways == 16
+        assert cfg.l1d.line_size == 128
+        assert cfg.num_schedulers_per_sm == 2
+
+    def test_with_scheduler(self):
+        cfg = GPUConfig.default_sim().with_scheduler("gto")
+        assert cfg.scheduler_name == "gto"
+
+    def test_with_cacp_default_half_ways(self):
+        cfg = GPUConfig.default_sim().with_cacp(True)
+        assert cfg.use_cacp
+        assert cfg.l1d.critical_ways == cfg.l1d.ways // 2
+
+    def test_with_cacp_disable(self):
+        cfg = GPUConfig.default_sim().with_cacp(True).with_cacp(False)
+        assert not cfg.use_cacp
+        assert cfg.l1d.critical_ways == 0
+
+    def test_with_l1d_policy(self):
+        cfg = GPUConfig.default_sim().with_l1d_policy("ship")
+        assert cfg.l1d_policy == "ship"
+
+    def test_rejects_bad_warp_size(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(warp_size=33)
+
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(num_sms=0)

@@ -1,0 +1,172 @@
+"""Tests for the Criticality Prediction Logic (CPL)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.cpl import CriticalityPredictor
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.kernel import KernelBuilder
+from repro.simt.block import ThreadBlock
+from repro.simt.warp import Warp
+
+
+def make_block_with_warps(num_warps=4):
+    b = KernelBuilder("t")
+    b.nop()
+    kernel = b.build()
+    block = ThreadBlock(0, num_warps * 32, 1, kernel, 32)
+    for w in range(num_warps):
+        warp = Warp(w, block, 32, 2, 1, dynamic_id=w)
+        block.warps.append(warp)
+    return block
+
+
+def branch(pc=0, target=10, reconv=20):
+    return replace(
+        Instruction(Opcode.BRA, pred=0, target=None, reconv=None),
+        pc=pc,
+        target_pc=target,
+        reconv_pc=reconv,
+    )
+
+
+class TestInstructionTerm:
+    def test_divergent_branch_adds_both_paths(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        # fallthrough = [1, 10) = 9 insts, taken = [10, 20) = 10 insts
+        cpl.on_branch(warp, branch(), diverged=True, all_taken=False)
+        assert warp.cpl_inst_disparity == 19
+
+    def test_taken_path_only(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        cpl.on_branch(warp, branch(), diverged=False, all_taken=True)
+        assert warp.cpl_inst_disparity == 10
+
+    def test_fallthrough_path_only(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        cpl.on_branch(warp, branch(), diverged=False, all_taken=False)
+        assert warp.cpl_inst_disparity == 9
+
+    def test_unconditional_branch_ignored(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        inst = replace(Instruction(Opcode.BRA), pc=5, target_pc=0, reconv_pc=-1)
+        cpl.on_branch(warp, inst, diverged=False, all_taken=True)
+        assert warp.cpl_inst_disparity == 0
+
+    def test_commit_decrements(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        cpl.on_branch(warp, branch(), diverged=False, all_taken=True)
+        before = warp.cpl_inst_disparity
+        cpl.on_issue(warp, stall_cycles=0.0)
+        assert warp.cpl_inst_disparity == before - 1
+
+    def test_inst_term_never_negative(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        for _ in range(5):
+            cpl.on_issue(warp, 0.0)
+        assert warp.cpl_inst_disparity == 0
+
+
+class TestStallTerm:
+    def test_stalls_accumulate(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        cpl.on_issue(warp, stall_cycles=100.0)
+        cpl.on_issue(warp, stall_cycles=50.0)
+        assert warp.cpl_stall == 150.0
+        assert warp.criticality >= 150.0
+
+    def test_negative_stall_clamped(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        cpl.on_issue(warp, stall_cycles=-5.0)
+        assert warp.cpl_stall == 0.0
+
+
+class TestEquationOne:
+    def test_counter_combines_terms_with_cpi(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        # Give the warp a known CPI: 10 instructions over 40 cycles = 4.0.
+        warp.issued_instructions = 10
+        warp.start_cycle = 0.0
+        warp.last_issue_cycle = 40.0
+        cpl.on_branch(warp, branch(), diverged=False, all_taken=True)  # +10 insts
+        warp.cpl_stall = 7.0
+        cpl._refresh(warp)
+        assert warp.criticality == pytest.approx(10 * 4.0 + 7.0)
+
+    def test_cpi_floor_is_one(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps()
+        warp = block.warps[0]
+        warp.issued_instructions = 100
+        warp.last_issue_cycle = 10.0  # CPI would be 0.1
+        assert cpl._cpi(warp) == 1.0
+
+
+class TestVerdicts:
+    def test_slower_half_flagged(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps(4)
+        for i, warp in enumerate(block.warps):
+            warp.criticality = float(i * 100)
+        cpl._refresh_block_threshold(block)
+        flags = [cpl.is_critical(w) for w in block.warps]
+        assert flags == [False, False, True, True]
+
+    def test_verdicts_sticky_between_refreshes(self):
+        cpl = CriticalityPredictor(update_period=1000)
+        block = make_block_with_warps(4)
+        for i, warp in enumerate(block.warps):
+            warp.criticality = float(i * 100)
+        cpl._refresh_block_threshold(block)
+        # Changing counters does not flip the latched flag...
+        block.warps[0].criticality = 1e9
+        assert not cpl.is_critical(block.warps[0])
+        # ...until the next refresh.
+        cpl._refresh_block_threshold(block)
+        assert cpl.is_critical(block.warps[0])
+
+    def test_periodic_refresh_via_issues(self):
+        cpl = CriticalityPredictor(update_period=4)
+        block = make_block_with_warps(2)
+        warp = block.warps[0]
+        warp.criticality = 0.0
+        block.warps[1].criticality = 50.0
+        for _ in range(4):
+            cpl.on_issue(warp, 10.0)
+        # After 4 issues a refresh happened; warp 0 accumulated 40 stall
+        # cycles but that's still below warp 1.
+        assert cpl.is_critical(block.warps[1])
+
+    def test_rank_in_block(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps(4)
+        for i, warp in enumerate(block.warps):
+            warp.criticality = float(i)
+        assert cpl.rank_in_block(block.warps[0]) == 0
+        assert cpl.rank_in_block(block.warps[3]) == 3
+
+    def test_forget_block(self):
+        cpl = CriticalityPredictor()
+        block = make_block_with_warps(2)
+        cpl._refresh_block_threshold(block)
+        cpl.forget_block(block.block_id)
+        assert block.block_id not in cpl._block_threshold

@@ -1,0 +1,163 @@
+"""Tests for the experiment harness (runner, sweeps, oracle, figures)."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.runner import build_oracle, run_scheme, run_sweep, sweep_table
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+SCALE = 0.25  # keep harness tests fast
+
+
+class TestRunScheme:
+    def test_returns_result_with_blocks(self):
+        result = run_scheme("synthetic_imbalance", "rr", scale=SCALE)
+        assert result.cycles > 0
+        assert result.blocks
+
+    def test_results_are_memoized(self):
+        a = run_scheme("synthetic_imbalance", "rr", scale=SCALE)
+        b = run_scheme("synthetic_imbalance", "rr", scale=SCALE)
+        assert a is b
+
+    def test_cache_respects_scheme(self):
+        a = run_scheme("synthetic_imbalance", "rr", scale=SCALE)
+        b = run_scheme("synthetic_imbalance", "gto", scale=SCALE)
+        assert a is not b
+
+    def test_workload_kwargs_bypass_cache(self):
+        a = run_scheme("bfs", "rr", scale=SCALE)
+        b = run_scheme("bfs", "rr", scale=SCALE, balanced=True)
+        assert a is not b
+
+    def test_accuracy_tracker_attaches(self):
+        result = run_scheme("synthetic_imbalance", "cawa", scale=SCALE,
+                            with_accuracy=True)
+        assert 0.0 <= result.extra["cpl_accuracy"] <= 1.0
+
+    def test_reuse_profiler_attaches(self):
+        result = run_scheme("synthetic_memstress", "rr", scale=SCALE,
+                            with_reuse=True)
+        profiler = result.extra["reuse_profiler"]
+        assert profiler.critical.references + profiler.non_critical.references > 0
+
+
+class TestOracle:
+    def test_oracle_covers_all_warps(self):
+        oracle = build_oracle("synthetic_imbalance", scale=SCALE)
+        result = run_scheme("synthetic_imbalance", "rr", scale=SCALE)
+        expected_keys = {
+            (block.block_id, warp.warp_id_in_block)
+            for block in result.blocks
+            for warp in block.warps
+        }
+        assert set(oracle) == expected_keys
+        assert all(t >= 0 for t in oracle.values())
+
+    def test_caws_scheme_uses_oracle(self):
+        result = run_scheme("synthetic_imbalance", "caws", scale=SCALE)
+        assert result.cycles > 0
+
+
+class TestSweep:
+    def test_sweep_grid_complete(self):
+        results = run_sweep(["synthetic_imbalance"], ["rr", "gto"], scale=SCALE)
+        assert set(results) == {("synthetic_imbalance", "rr"),
+                                ("synthetic_imbalance", "gto")}
+
+    def test_sweep_table_renders(self):
+        results = run_sweep(["synthetic_imbalance"], ["rr", "gto"], scale=SCALE)
+        text = sweep_table(results, ["synthetic_imbalance"], ["rr", "gto"],
+                           lambda r: r.ipc, "workload")
+        assert "synthetic_imbalance" in text
+        assert "rr" in text and "gto" in text
+
+
+class TestFigureModules:
+    """Smoke tests: every figure module runs at tiny scale and renders."""
+
+    def test_fig01(self):
+        from repro.experiments import fig01
+        data = fig01.run(scale=SCALE, workloads=["synthetic_imbalance"])
+        assert "synthetic_imbalance" in data
+        assert "Figure 1" in fig01.render(data)
+
+    def test_fig04(self):
+        from repro.experiments import fig04
+        data = fig04.run(scale=SCALE, workload="synthetic_imbalance")
+        assert set(data) == set(fig04.SCHEDULERS)
+        assert "Figure 4" in fig04.render(data)
+
+    def test_fig09_and_summary(self):
+        from repro.experiments import fig09
+        data = fig09.run(scale=SCALE, workloads=["kmeans"], schemes=["gto"])
+        assert ("kmeans", "gto") in data
+        summary = fig09.summarize(data)
+        assert ("Sens", "gto") in summary
+
+    def test_fig11(self):
+        from repro.experiments import fig11
+        data = fig11.run(scale=SCALE, workloads=["needle"])
+        assert data["needle"] == 1.0
+
+    def test_fig15(self):
+        from repro.experiments import fig15
+        data = fig15.run(scale=SCALE, workloads=["kmeans"])
+        assert ("kmeans", "rr") in data and ("kmeans", "cawa") in data
+
+    def test_fig02(self):
+        from repro.experiments import fig02
+        data = fig02.run(scale=SCALE)
+        assert len(data["a_exec_time"]) >= 2
+        assert "Figure 2" in fig02.render(data)
+
+    def test_fig03(self):
+        from repro.experiments import fig03
+        data = fig03.run(scale=SCALE)
+        assert 0.0 <= data["critical_evicted_before_reuse"] <= 1.0
+        assert "Figure 3" in fig03.render(data)
+
+    def test_fig10(self):
+        from repro.experiments import fig10
+        data = fig10.run(scale=SCALE, workloads=["kmeans"])
+        assert all(value >= 0 for value in data.values())
+        assert "Figure 10" in fig10.render(data)
+
+    def test_fig12(self):
+        from repro.experiments import fig12
+        data = fig12.run(scale=SCALE)
+        assert set(data) == {"rr", "gcaws"}
+        assert "Figure 12" in fig12.render(data)
+
+    def test_fig13(self):
+        from repro.experiments import fig13
+        data = fig13.run(scale=SCALE, workloads=["needle"])
+        assert set(s for _, s in data) == set(fig13.SCHEMES)
+        assert "Figure 13" in fig13.render(data)
+
+    def test_fig14(self):
+        from repro.experiments import fig14
+        data = fig14.run(scale=SCALE, workloads=["kmeans"])
+        assert all(value > 0 for value in data.values())
+        assert "Figure 14" in fig14.render(data)
+
+    def test_fig16_and_17(self):
+        from repro.experiments import fig16, fig17
+        data = fig17.run(scale=SCALE, workloads=["kmeans"])
+        gains = fig17.cacp_gains(data)
+        assert set(gains) == {pair[0] for pair in fig16.PAIRINGS}
+        assert "Figure 17" in fig17.render(data)
+        mpki = fig16.run(scale=SCALE, workloads=["kmeans"])
+        assert "Figure 16" in fig16.render(mpki)
+
+    def test_tables(self):
+        from repro.experiments import tables
+        assert "Table 1" in tables.table1()
+        assert "Table 2" in tables.table2()

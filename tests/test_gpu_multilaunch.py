@@ -1,0 +1,75 @@
+"""Tests for sequential kernel launches on one GPU (persistent device clock)."""
+
+import numpy as np
+
+from repro import GPU, GPUConfig
+
+from tests.conftest import build_copy_kernel
+
+
+def test_device_clock_advances():
+    gpu = GPU(GPUConfig.default_sim())
+    n = 128
+    src = gpu.memory.alloc_array(np.arange(n, dtype=float))
+    dst = gpu.memory.alloc_array(np.zeros(n))
+    kernel = build_copy_kernel(n, src, dst)
+    assert gpu.now == 0.0
+    gpu.launch(kernel, 2, 64)
+    first_end = gpu.now
+    assert first_end > 0
+    gpu.launch(kernel, 2, 64)
+    assert gpu.now > first_end
+
+
+def test_second_launch_not_inflated_by_stale_queues():
+    """Resource timestamps persist; a later launch must not pay for them."""
+    gpu = GPU(GPUConfig.default_sim())
+    n = 512
+    src = gpu.memory.alloc_array(np.arange(n, dtype=float))
+    dst = gpu.memory.alloc_array(np.zeros(n))
+    kernel = build_copy_kernel(n, src, dst)
+    first = gpu.launch(kernel, 8, 64)
+    second = gpu.launch(kernel, 8, 64)
+    # The second launch hits warm caches; it must be no slower than ~1.5x
+    # the first (it was ~10x before the persistent-clock fix).
+    assert second.cycles < 1.5 * first.cycles
+
+
+def test_per_launch_stats_are_deltas():
+    gpu = GPU(GPUConfig.default_sim())
+    n = 256
+    src = gpu.memory.alloc_array(np.arange(n, dtype=float))
+    dst = gpu.memory.alloc_array(np.zeros(n))
+    kernel = build_copy_kernel(n, src, dst)
+    first = gpu.launch(kernel, 4, 64)
+    second = gpu.launch(kernel, 4, 64)
+    assert second.thread_instructions == first.thread_instructions
+    assert second.warp_instructions == first.warp_instructions
+    assert len(first.blocks) == 4 and len(second.blocks) == 4
+    # Second launch re-reads the same lines: strictly more L1 hits.
+    assert second.l1_stats.hits >= first.l1_stats.hits
+    assert second.l1_stats.accesses == first.l1_stats.accesses
+
+
+def test_warm_cache_carries_across_launches():
+    gpu = GPU(GPUConfig.default_sim(num_sms=1))
+    n = 64
+    src = gpu.memory.alloc_array(np.arange(n, dtype=float))
+    dst = gpu.memory.alloc_array(np.zeros(n))
+    kernel = build_copy_kernel(n, src, dst)
+    first = gpu.launch(kernel, 1, 64)
+    second = gpu.launch(kernel, 1, 64)
+    assert second.l1_stats.hit_rate > first.l1_stats.hit_rate
+    assert second.cycles <= first.cycles
+
+
+def test_functional_isolation_between_launches():
+    """A second kernel sees the first kernel's memory side effects."""
+    gpu = GPU(GPUConfig.default_sim())
+    n = 64
+    a = gpu.memory.alloc_array(np.arange(n, dtype=float))
+    b = gpu.memory.alloc_array(np.zeros(n))
+    c = gpu.memory.alloc_array(np.zeros(n))
+    gpu.launch(build_copy_kernel(n, a, b), 1, 64)  # b = a
+    gpu.launch(build_copy_kernel(n, b, c), 1, 64)  # c = b
+    assert np.array_equal(gpu.memory.read_array(c, n), np.arange(n, dtype=float))

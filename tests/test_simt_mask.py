@@ -1,0 +1,60 @@
+"""Tests for active-mask helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simt.mask import (
+    bools_from_mask,
+    full_mask,
+    lanes_of,
+    mask_from_bools,
+    popcount,
+)
+
+
+class TestBasics:
+    def test_full_mask(self):
+        assert full_mask(32) == (1 << 32) - 1
+        assert full_mask(1) == 1
+        assert full_mask(0) == 0
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(full_mask(32)) == 32
+
+    def test_lanes_of(self):
+        assert list(lanes_of(0b1011)) == [0, 1, 3]
+        assert list(lanes_of(0)) == []
+
+    def test_bools_roundtrip(self):
+        mask = 0b101101
+        flags = bools_from_mask(mask, 8)
+        assert mask_from_bools(flags) == mask
+
+    def test_bools_from_mask_is_readonly(self):
+        flags = bools_from_mask(0b11, 4)
+        with pytest.raises(ValueError):
+            flags[0] = False
+
+    def test_bools_from_mask_memoized(self):
+        a = bools_from_mask(0b1010, 8)
+        b = bools_from_mask(0b1010, 8)
+        assert a is b
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_prop_roundtrip_32(mask):
+    flags = bools_from_mask(mask, 32)
+    assert mask_from_bools(flags) == mask
+    assert popcount(mask) == int(np.count_nonzero(flags))
+    assert sorted(lanes_of(mask)) == list(np.nonzero(flags)[0])
+
+
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_prop_roundtrip_any_width(width, data):
+    mask = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    flags = bools_from_mask(mask, width)
+    assert len(flags) == width
+    assert mask_from_bools(flags) == mask

@@ -1,0 +1,94 @@
+"""Tests for the block dispatcher and SM occupancy accounting."""
+
+import numpy as np
+import pytest
+
+from repro import GPU, GPUConfig
+from repro.isa.kernel import KernelBuilder
+from repro.sm.dispatcher import BlockDispatcher
+
+
+def trivial_kernel(num_regs=4):
+    b = KernelBuilder("t")
+    regs = b.regs(num_regs)
+    b.mov(regs[0], 1.0)
+    kernel = b.build()
+    assert kernel.num_regs == num_regs
+    return kernel
+
+
+def make_gpu(**overrides):
+    return GPU(GPUConfig.default_sim(**overrides))
+
+
+class TestOccupancyLimits:
+    def test_block_count_limit(self):
+        gpu = make_gpu(num_sms=1, max_blocks_per_sm=2, max_warps_per_sm=16)
+        sm = gpu.sms[0]
+        kernel = trivial_kernel()
+        dispatcher = BlockDispatcher(kernel, 5, 32, 32)
+        dispatcher.try_dispatch([sm], 0.0)
+        assert len(sm.blocks) == 2
+        assert dispatcher.pending == 3
+
+    def test_warp_count_limit(self):
+        gpu = make_gpu(num_sms=1, max_blocks_per_sm=8, max_warps_per_sm=16)
+        sm = gpu.sms[0]
+        kernel = trivial_kernel()
+        # Blocks of 8 warps: only 2 fit in 16 warp slots.
+        dispatcher = BlockDispatcher(kernel, 4, 256, 32)
+        dispatcher.try_dispatch([sm], 0.0)
+        assert len(sm.blocks) == 2
+
+    def test_register_limit(self):
+        gpu = make_gpu(num_sms=1, registers_per_sm=2048)
+        sm = gpu.sms[0]
+        kernel = trivial_kernel(num_regs=16)  # 16 regs * 64 threads = 1024
+        dispatcher = BlockDispatcher(kernel, 4, 64, 32)
+        dispatcher.try_dispatch([sm], 0.0)
+        assert len(sm.blocks) == 2  # 2 * 1024 = 2048 registers exactly
+
+    def test_registers_freed_on_commit(self):
+        gpu = make_gpu(num_sms=1, registers_per_sm=2048)
+        sm = gpu.sms[0]
+        kernel = trivial_kernel(num_regs=16)
+        dispatcher = BlockDispatcher(kernel, 2, 64, 32)
+        dispatcher.try_dispatch([sm], 0.0)
+        block = sm.blocks[0]
+        for warp in list(block.warps):
+            warp.mark_finished(1.0)
+        sm._commit_block(block)
+        assert sm._regs_in_use == 1024
+
+
+class TestDispatchOrder:
+    def test_blocks_dispatched_in_id_order(self):
+        gpu = make_gpu(num_sms=1)
+        sm = gpu.sms[0]
+        dispatcher = BlockDispatcher(trivial_kernel(), 3, 32, 32)
+        dispatcher.try_dispatch([sm], 0.0)
+        assert [b.block_id for b in sm.blocks] == [0, 1, 2]
+
+    def test_least_loaded_sm_first(self):
+        gpu = make_gpu(num_sms=2)
+        dispatcher = BlockDispatcher(trivial_kernel(), 2, 32, 32)
+        dispatcher.try_dispatch(gpu.sms, 0.0)
+        assert len(gpu.sms[0].blocks) == 1
+        assert len(gpu.sms[1].blocks) == 1
+
+    def test_exhausted_flag(self):
+        gpu = make_gpu(num_sms=2)
+        dispatcher = BlockDispatcher(trivial_kernel(), 2, 32, 32)
+        assert not dispatcher.exhausted
+        dispatcher.try_dispatch(gpu.sms, 0.0)
+        assert dispatcher.exhausted
+        assert dispatcher.dispatched == 2
+
+    def test_warp_dynamic_ids_monotonic(self):
+        gpu = make_gpu(num_sms=1)
+        sm = gpu.sms[0]
+        dispatcher = BlockDispatcher(trivial_kernel(), 2, 64, 32)
+        dispatcher.try_dispatch([sm], 0.0)
+        ids = [w.dynamic_id for w in sm.warps]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)

@@ -1,0 +1,57 @@
+"""Tests for JSON/CSV result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.runner import run_scheme, run_sweep
+from repro.stats.export import result_to_dict, result_to_json, sweep_to_csv
+
+
+@pytest.fixture(scope="module")
+def result():
+    runner.clear_cache()
+    return run_scheme("synthetic_imbalance", "rr", scale=0.5)
+
+
+class TestJson:
+    def test_dict_has_all_metrics(self, result):
+        data = result_to_dict(result)
+        for key in ("cycles", "ipc", "l1_mpki", "simd_efficiency"):
+            assert key in data
+        assert data["kernel"] == "synthetic_imbalance"
+        assert data["l1"]["accesses"] > 0
+
+    def test_blocks_exported_with_warp_times(self, result):
+        data = result_to_dict(result)
+        assert data["blocks"]
+        first = data["blocks"][0]
+        assert first["commit_cycle"] is not None
+        assert len(first["warp_execution_times"]) > 0
+
+    def test_json_round_trips(self, result):
+        text = result_to_json(result)
+        parsed = json.loads(text)
+        assert parsed["scheme"] == "rr"
+        assert parsed["cycles"] == result.cycles
+
+
+class TestCsv:
+    def test_sweep_csv_shape(self):
+        results = run_sweep(["synthetic_imbalance"], ["rr", "gto"], scale=0.5)
+        text = sweep_to_csv(results)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][:2] == ["workload", "scheme"]
+        assert len(rows) == 3  # header + 2 cells
+        schemes = {row[1] for row in rows[1:]}
+        assert schemes == {"rr", "gto"}
+
+    def test_csv_values_numeric(self):
+        results = run_sweep(["synthetic_imbalance"], ["rr"], scale=0.5)
+        rows = list(csv.reader(io.StringIO(sweep_to_csv(results))))
+        header, row = rows[0], rows[1]
+        cycles = float(row[header.index("cycles")])
+        assert cycles > 0

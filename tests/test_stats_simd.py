@@ -1,0 +1,32 @@
+"""Tests for the SIMD-efficiency metric."""
+
+from repro import GPU, GPUConfig
+from repro.memory.cache import CacheStats
+from repro.stats.counters import RunResult
+from repro.workloads import make_workload
+
+
+def test_simd_efficiency_formula():
+    r = RunResult("k", "rr", cycles=10, thread_instructions=320,
+                  warp_instructions=20, l1_stats=CacheStats(),
+                  l2_stats=CacheStats(), warp_size=32)
+    assert r.simd_efficiency == 0.5
+
+
+def test_uniform_workload_near_full_efficiency():
+    gpu = GPU(GPUConfig.default_sim())
+    result = make_workload("backprop", scale=0.25).run(gpu)
+    assert result.simd_efficiency > 0.9
+
+
+def test_divergent_workload_loses_efficiency():
+    gpu = GPU(GPUConfig.default_sim())
+    divergent = make_workload("synthetic_divergence").run(gpu)
+    gpu2 = GPU(GPUConfig.default_sim())
+    uniform = make_workload("backprop", scale=0.25).run(gpu2)
+    assert divergent.simd_efficiency < uniform.simd_efficiency
+
+
+def test_zero_instructions_safe():
+    r = RunResult("k", "rr", 0, 0, 0, CacheStats(), CacheStats())
+    assert r.simd_efficiency == 0.0

@@ -1,0 +1,126 @@
+"""Deeper per-workload tests: input generators and criticality structure."""
+
+import numpy as np
+import pytest
+
+from repro import GPU, GPUConfig
+from repro.workloads import make_workload
+from repro.workloads.bfs import BFSWorkload
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.needle import NeedleWorkload
+from repro.workloads.streamcluster import StreamclusterWorkload
+
+
+class TestBFSGraph:
+    def test_csr_structure_valid(self):
+        wl = BFSWorkload(num_nodes=256)
+        row_ptr, col_idx = wl._make_graph()
+        assert len(row_ptr) == 257
+        assert row_ptr[0] == 0
+        assert np.all(np.diff(row_ptr) >= 1)  # every node has >= 1 edge
+        assert row_ptr[-1] == len(col_idx)
+        assert col_idx.min() >= 0 and col_idx.max() < 256
+
+    def test_balanced_graph_has_constant_degree(self):
+        wl = BFSWorkload(num_nodes=256, balanced=True, avg_degree=8)
+        row_ptr, _ = wl._make_graph()
+        degrees = np.diff(row_ptr)
+        assert np.all(degrees == 8)
+
+    def test_unbalanced_graph_has_degree_spread(self):
+        wl = BFSWorkload(num_nodes=512, balanced=False, avg_degree=8)
+        row_ptr, _ = wl._make_graph()
+        degrees = np.diff(row_ptr)
+        assert degrees.max() > 2 * degrees.min()
+
+    def test_unbalanced_mean_degree_near_target(self):
+        wl = BFSWorkload(num_nodes=2048, avg_degree=8)
+        row_ptr, _ = wl._make_graph()
+        assert 2 <= np.diff(row_ptr).mean() <= 16
+
+
+class TestBTree:
+    def test_tree_levels_sized_by_fanout(self):
+        wl = BTreeWorkload(fanout=4, depth=3, num_queries=64)
+        levels = wl._make_tree()
+        assert [len(level) for level in levels] == [4, 16, 64]
+
+    def test_separators_are_sorted(self):
+        wl = BTreeWorkload(fanout=8, depth=3, num_queries=64)
+        for level in wl._make_tree():
+            nodes = level.reshape(-1, 8)
+            assert np.all(np.diff(nodes, axis=1) > 0)
+
+    def test_lookup_finds_correct_leaf_range(self):
+        # End-to-end: each returned leaf index must contain the query key.
+        wl = BTreeWorkload(fanout=4, depth=3, num_queries=128, block_dim=64)
+        gpu = GPU(GPUConfig.default_sim())
+        spec = wl.build(gpu)
+        gpu.launch(spec.kernel, spec.grid_dim, spec.block_dim)
+        assert spec.verify(gpu)
+
+
+class TestKMeans:
+    def test_membership_is_valid_cluster_index(self):
+        wl = KMeansWorkload(num_points=256, block_dim=64)
+        gpu = GPU(GPUConfig.default_sim())
+        spec = wl.build(gpu)
+        gpu.launch(spec.kernel, spec.grid_dim, spec.block_dim)
+        member = gpu.memory.read_array(spec.buffers["membership"], 256)
+        assert member.min() >= 0
+        assert member.max() < wl.num_clusters
+
+    def test_feature_major_layout_coalesces(self):
+        # Adjacent threads read adjacent addresses within each feature row.
+        wl = KMeansWorkload(num_points=256)
+        gpu = GPU(GPUConfig.default_sim())
+        wl.build(gpu)
+        result = make_workload("kmeans", num_points=256, block_dim=64).run(
+            GPU(GPUConfig.default_sim())
+        )
+        per_access_lines = result.l1_stats.accesses / max(1, result.warp_instructions)
+        assert per_access_lines < 2.0  # far from the 32-lines-per-access worst case
+
+
+class TestNeedle:
+    def test_single_warp_blocks(self):
+        wl = NeedleWorkload(num_tiles=2)
+        gpu = GPU(GPUConfig.default_sim())
+        spec = wl.build(gpu)
+        assert spec.block_dim == 32  # one warp per block (paper's footnote)
+        result = gpu.launch(spec.kernel, spec.grid_dim, spec.block_dim)
+        assert spec.verify(gpu)
+        for block in result.blocks:
+            assert block.num_warps == 1
+
+    def test_dp_matrix_monotone_on_uniform_scores(self):
+        wl = NeedleWorkload(num_tiles=1, penalty=1.0)
+        gpu = GPU(GPUConfig.default_sim())
+        spec = wl.build(gpu)
+        gpu.launch(spec.kernel, spec.grid_dim, spec.block_dim)
+        assert spec.verify(gpu)
+
+
+class TestStreamcluster:
+    def test_variants_have_expected_categories(self):
+        assert StreamclusterWorkload(variant="small").category == "Sens"
+        assert StreamclusterWorkload(variant="mid").category == "Non-sens"
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            StreamclusterWorkload(variant="large")
+
+    def test_mid_variant_is_single_pass(self):
+        assert StreamclusterWorkload(variant="mid").centers == 1
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", ["bfs", "kmeans", "heartwall"])
+    def test_scale_shrinks_problem(self, name):
+        small = make_workload(name, scale=0.25)
+        large = make_workload(name, scale=1.0)
+        g_small, g_large = GPU(GPUConfig.default_sim()), GPU(GPUConfig.default_sim())
+        r_small = small.run(g_small, check=False)
+        r_large = large.run(g_large, check=False)
+        assert r_small.thread_instructions < r_large.thread_instructions
