@@ -1,0 +1,40 @@
+# Developer entry points.  All targets run from a plain checkout (no
+# install): PYTHONPATH=src is injected everywhere.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-all test-slow bench profile sweep clean-cache
+
+## Tier-1 suite: fast correctness tests (excludes `slow`-marked suites).
+test:
+	$(PYTEST) -x -q
+
+## Everything, including the full event/scan parity grid.
+test-all:
+	$(PYTEST) -x -q -m ""
+
+## Only the slow suites (full parity grid etc.).
+test-slow:
+	$(PYTEST) -q -m slow
+
+## Paper-reproduction benchmarks + perf smoke (pytest-benchmark).
+bench:
+	$(PYTEST) benchmarks/ -q -m "" --benchmark-only -s
+
+## Hot-spot profile of the reference cell (override: make profile ARGS="kmeans rr").
+ARGS ?= bfs cawa
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro profile $(ARGS)
+
+## Compare the event and scan issue cores on the reference cell.
+profile-compare:
+	PYTHONPATH=src $(PYTHON) -m repro profile $(ARGS) --compare
+
+## Full workload x scheme IPC sweep.
+sweep:
+	PYTHONPATH=src $(PYTHON) -m repro sweep
+
+## Drop the persistent result cache.
+clean-cache:
+	rm -rf .repro_cache

@@ -1,0 +1,53 @@
+"""Simulator-throughput smoke benchmark (host performance, not paper data).
+
+Records **simulated cycles per host CPU second** for the event-driven issue
+core on the bfs x cawa cell (the ISSUE's reference cell) plus the
+event-vs-scan core speedup, both into pytest-benchmark's ``extra_info`` so
+``--benchmark-json`` output can be tracked across commits.
+
+Caches are bypassed throughout — this measures simulation, not replay.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import profiling
+from repro.experiments.runner import clear_cache
+
+#: Smaller than BENCH_SCALE: throughput smoke, not a paper reproduction.
+SCALE = 0.5
+
+
+@pytest.mark.slow
+def test_event_core_throughput(benchmark):
+    clear_cache()
+    result, seconds = run_once(
+        benchmark, profiling.timed_run, "bfs", "cawa", scale=SCALE,
+        core="event",
+    )
+    assert result.cycles > 0 and seconds > 0
+    benchmark.extra_info["workload"] = "bfs"
+    benchmark.extra_info["scheme"] = "cawa"
+    benchmark.extra_info["issue_core"] = "event"
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    benchmark.extra_info["cycles_per_second"] = result.cycles / seconds
+
+
+@pytest.mark.slow
+def test_event_vs_scan_speedup(benchmark):
+    clear_cache()
+    report = run_once(
+        benchmark, profiling.compare_cores, "bfs", "cawa", scale=SCALE,
+        repeats=2,
+    )
+    # Bit-identical simulation outcomes are the hard invariant; wall-clock
+    # speedup is recorded for tracking, not asserted (CI machines vary).
+    assert report["event"]["cycles"] == report["scan"]["cycles"]
+    benchmark.extra_info["event_cycles_per_second"] = (
+        report["event"]["cycles_per_second"]
+    )
+    benchmark.extra_info["scan_cycles_per_second"] = (
+        report["scan"]["cycles_per_second"]
+    )
+    benchmark.extra_info["event_speedup"] = report["event_speedup"]["wall"]

@@ -93,6 +93,31 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from .experiments import profiling
+
+    if args.compare:
+        report = profiling.compare_cores(
+            args.workload, args.scheme, scale=args.scale,
+            config=_base_config(args), repeats=args.repeats,
+        )
+        for core in ("event", "scan"):
+            row = report[core]
+            print(
+                f"{core:<6} {row['cycles']:>10.0f} cycles  "
+                f"{row['seconds']:>7.2f}s CPU  "
+                f"{row['cycles_per_second']:>12,.0f} cycles/s"
+            )
+        print(f"event-core speedup: {report['event_speedup']['wall']:.2f}x")
+        return 0
+    profiling.profile_run(
+        args.workload, args.scheme, scale=args.scale,
+        config=_base_config(args), core=args.core,
+        sort=args.sort, top=args.top,
+    )
+    return 0
+
+
 def cmd_figure(args) -> int:
     if args.number not in FIGURES:
         print(f"no module for figure {args.number}; available: {FIGURES}",
@@ -142,6 +167,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--scale", type=float, default=1.0)
     p_sweep.add_argument("--fermi", action="store_true")
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="cProfile one run, or compare the event/scan issue cores",
+    )
+    p_prof.add_argument("workload",
+                        choices=workload_names(include_synthetic=True))
+    p_prof.add_argument("scheme", nargs="?", default="cawa",
+                        choices=sorted(SCHEMES))
+    p_prof.add_argument("--scale", type=float, default=1.0)
+    p_prof.add_argument("--fermi", action="store_true")
+    p_prof.add_argument("--core", choices=["event", "scan"], default=None,
+                        help="issue core to profile (default: config default)")
+    p_prof.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"])
+    p_prof.add_argument("--top", type=int, default=25,
+                        help="number of profile rows to print")
+    p_prof.add_argument("--compare", action="store_true",
+                        help="time both issue cores instead of profiling")
+    p_prof.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N repeats for --compare")
+
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")
     p_fig.add_argument("number", type=int)
     p_fig.add_argument("--scale", type=float, default=1.0)
@@ -159,6 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "profile": cmd_profile,
         "figure": cmd_figure,
         "tables": cmd_tables,
     }

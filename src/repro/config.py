@@ -9,6 +9,9 @@ simulator sweep every experiment in minutes.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -124,6 +127,13 @@ class GPUConfig:
     critical_mshr_reserve: int = 0
     use_cpl: bool = True
     cpl_update_period: int = 64
+    #: Issue-loop implementation: ``"event"`` (default) uses the
+    #: event-driven ready-warp core (per-slot wake queues updated at the
+    #: moment completion times become known); ``"scan"`` keeps the original
+    #: O(warps)-per-cycle linear readiness scan.  Both produce bit-identical
+    #: cycle counts (see ``tests/test_event_core_parity.py``); the scan path
+    #: is retained as the golden reference.
+    issue_core: str = "event"
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0:
@@ -138,6 +148,10 @@ class GPUConfig:
             raise ConfigError("num_schedulers_per_sm must be positive")
         if self.l2_banks <= 0:
             raise ConfigError("l2_banks must be positive")
+        if self.issue_core not in ("event", "scan"):
+            raise ConfigError(
+                f"issue_core must be 'event' or 'scan', got {self.issue_core!r}"
+            )
 
     @classmethod
     def fermi_gtx480(cls, **overrides) -> "GPUConfig":
@@ -190,3 +204,21 @@ class GPUConfig:
     def with_l1d_policy(self, policy: str) -> "GPUConfig":
         """Return a copy using L1D replacement policy ``policy``."""
         return replace(self, l1d_policy=policy)
+
+    def with_issue_core(self, core: str) -> "GPUConfig":
+        """Return a copy using issue-loop implementation ``core``."""
+        return replace(self, issue_core=core)
+
+    def fingerprint(self) -> str:
+        """Stable short hash of every timing-relevant parameter.
+
+        Keys the persistent on-disk result cache: any change to the
+        configuration (cache geometry, latencies, scheduler, ...) yields a
+        different fingerprint and therefore a cache miss.  ``issue_core`` is
+        deliberately *excluded* — the event-driven and scan cores are
+        bit-identical by contract, so results are shared between them.
+        """
+        payload = dataclasses.asdict(self)
+        payload.pop("issue_core", None)
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -74,7 +74,8 @@ class CriticalityPredictor:
         """Per-issue update: commit-decrement plus observed stall latency."""
         if warp.cpl_inst_disparity > 0:
             warp.cpl_inst_disparity -= 1
-        warp.cpl_stall += max(0.0, stall_cycles)
+        if stall_cycles > 0.0:
+            warp.cpl_stall += stall_cycles
         self._refresh(warp)
         block_id = warp.block.block_id
         count = self._block_issue_count.get(block_id, 0) + 1
@@ -88,10 +89,14 @@ class CriticalityPredictor:
 
     @staticmethod
     def _cpi(warp: Warp) -> float:
-        if warp.issued_instructions <= 0:
+        issued = warp.issued_instructions
+        if issued <= 0:
             return 1.0
-        elapsed = max(1.0, warp.last_issue_cycle - warp.start_cycle)
-        return max(1.0, elapsed / warp.issued_instructions)
+        elapsed = warp.last_issue_cycle - warp.start_cycle
+        if elapsed < 1.0:
+            elapsed = 1.0
+        cpi = elapsed / issued
+        return cpi if cpi > 1.0 else 1.0
 
     # ------------------------------------------------------------------
     # Criticality verdicts

@@ -1,0 +1,124 @@
+"""Performance instrumentation for simulator runs.
+
+Backs ``python -m repro profile`` and ``tools/profile_run.py``: wall-clock
+timing (best-of-N, cache-bypassed) plus optional cProfile hot-spot listings,
+and a side-by-side comparison of the two issue cores (``event`` vs
+``scan``).  The headline throughput metric is **simulated cycles per host
+second**, which is what the perf-regression smoke benchmark tracks.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+import time
+from typing import Dict, Optional, TextIO, Tuple
+
+from ..config import GPUConfig
+from ..stats.counters import RunResult
+from . import runner
+
+
+def timed_run(
+    workload: str,
+    scheme: str,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    core: Optional[str] = None,
+) -> Tuple[RunResult, float]:
+    """Run one cell with every cache bypassed; return (result, seconds).
+
+    ``core`` selects the issue core ("event"/"scan"); ``None`` keeps the
+    config's default.  Uses CPU time (``process_time``) so measurements are
+    stable on loaded machines.
+    """
+    cfg = config or GPUConfig.default_sim()
+    if core is not None:
+        cfg = cfg.with_issue_core(core)
+    start = time.process_time()
+    result = runner.run_scheme(
+        workload, scheme, scale=scale, config=cfg,
+        use_cache=False, persistent=False,
+    )
+    return result, time.process_time() - start
+
+
+def throughput(
+    workload: str,
+    scheme: str,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    core: Optional[str] = None,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Best-of-``repeats`` throughput for one cell.
+
+    Returns ``{"cycles", "seconds", "cycles_per_second"}``.
+    """
+    best = float("inf")
+    cycles = 0.0
+    for _ in range(repeats):
+        result, seconds = timed_run(workload, scheme, scale, config, core)
+        cycles = result.cycles
+        if seconds < best:
+            best = seconds
+    return {
+        "cycles": cycles,
+        "seconds": best,
+        "cycles_per_second": cycles / best if best > 0 else 0.0,
+    }
+
+
+def compare_cores(
+    workload: str,
+    scheme: str,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    repeats: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """Measure both issue cores on one cell; adds an ``event_speedup`` key."""
+    event = throughput(workload, scheme, scale, config, "event", repeats)
+    scan = throughput(workload, scheme, scale, config, "scan", repeats)
+    speedup = (scan["seconds"] / event["seconds"]) if event["seconds"] > 0 else 0.0
+    return {"event": event, "scan": scan,
+            "event_speedup": {"wall": speedup}}
+
+
+def profile_run(
+    workload: str,
+    scheme: str,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    core: Optional[str] = None,
+    sort: str = "cumulative",
+    top: int = 25,
+    stream: Optional[TextIO] = None,
+) -> Tuple[RunResult, float]:
+    """cProfile one cell and print the ``top`` hottest entries to ``stream``."""
+    out = stream if stream is not None else sys.stdout
+    profiler = cProfile.Profile()
+    start = time.process_time()
+    profiler.enable()
+    cfg = config or GPUConfig.default_sim()
+    if core is not None:
+        cfg = cfg.with_issue_core(core)
+    result = runner.run_scheme(
+        workload, scheme, scale=scale, config=cfg,
+        use_cache=False, persistent=False,
+    )
+    profiler.disable()
+    seconds = time.process_time() - start
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    print(buffer.getvalue(), file=out)
+    cps = result.cycles / seconds if seconds > 0 else 0.0
+    print(
+        f"{workload} x {scheme} (core={cfg.issue_core}): "
+        f"{result.cycles:.0f} cycles in {seconds:.2f}s CPU "
+        f"-> {cps:,.0f} cycles/s",
+        file=out,
+    )
+    return result, seconds

@@ -1,12 +1,23 @@
 """Shared experiment machinery: scheme runs, sweeps, and the CAWS oracle.
 
-Results are memoized per process keyed on (workload, scheme, scale,
-observer set), because several figures slice the same underlying sweep
-(e.g. Fig 9's IPC and Fig 10's MPKI come from identical runs).
+Results are memoized at two levels:
+
+* **per process** keyed on (workload, scheme, scale, observer set), because
+  several figures slice the same underlying sweep (e.g. Fig 9's IPC and
+  Fig 10's MPKI come from identical runs);
+* **on disk** under ``.repro_cache/`` (see
+  :mod:`repro.experiments.result_cache`), so repeated benchmark/figure
+  invocations across processes skip re-simulation.  Disk entries are keyed
+  on the full config fingerprint plus the package version and invalidate
+  automatically when either changes.
+
+:func:`run_sweep` can additionally fan the (workload x scheme) grid over a
+process pool (``parallel=True``); workers share the disk cache.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..config import GPUConfig
@@ -17,6 +28,7 @@ from ..stats.counters import RunResult
 from ..stats.report import format_table
 from ..stats.reuse import ReuseDistanceProfiler
 from ..workloads import make_workload
+from . import result_cache
 
 _CACHE: Dict[Tuple, RunResult] = {}
 _ORACLE_CACHE: Dict[Tuple, Dict] = {}
@@ -51,6 +63,7 @@ def run_scheme(
     with_reuse: bool = False,
     use_cache: bool = True,
     observers: Optional[list] = None,
+    persistent: bool = True,
     **workload_kwargs,
 ) -> RunResult:
     """Run one (workload, scheme) cell and return its :class:`RunResult`.
@@ -59,14 +72,32 @@ def run_scheme(
     ``with_reuse`` attaches the Fig 3 reuse-distance profiler.  Their
     outputs land in ``result.extra``.  ``observers`` are additional SM
     issue observers (e.g. the Fig 12 priority tracer).
+
+    ``persistent`` enables the on-disk result cache for plain runs (no
+    workload kwargs, no observers, no reuse profiler — those carry live
+    objects that do not serialize).  Disk hits return results whose
+    ``blocks`` are :class:`~repro.stats.counters.BlockSummary` snapshots,
+    which duck-type the live blocks for every analysis in this package.
     """
     key = (workload, scheme, scale, with_accuracy, with_reuse,
            tuple(sorted(workload_kwargs.items())))
-    if use_cache and not workload_kwargs and observers is None and key in _CACHE:
+    cacheable = use_cache and not workload_kwargs and observers is None
+    if cacheable and key in _CACHE:
         return _CACHE[key]
 
     base = config or GPUConfig.default_sim()
     cfg = apply_scheme(base, scheme)
+
+    disk_key = None
+    if cacheable and persistent and not with_reuse:
+        disk_key = result_cache.cache_key(
+            workload, scheme, scale, cfg.fingerprint(), with_accuracy
+        )
+        cached = result_cache.load(disk_key)
+        if cached is not None:
+            _CACHE[key] = cached
+            return cached
+
     oracle = build_oracle(workload, scale, config) if cfg.scheduler_name == "caws" else None
     gpu = GPU(cfg, oracle=oracle)
 
@@ -90,9 +121,23 @@ def run_scheme(
         result.extra["cpl_accuracy"] = accuracy_tracker.accuracy(result)
     if reuse_profiler is not None:
         result.extra["reuse_profiler"] = reuse_profiler
-    if use_cache and not workload_kwargs and observers is None:
+    if cacheable:
         _CACHE[key] = result
+    if disk_key is not None:
+        result_cache.store(disk_key, result)
     return result
+
+
+def _sweep_worker(args: Tuple) -> Tuple[Tuple[str, str], Dict]:
+    """Process-pool worker: run one cell, return it in plain-dict form.
+
+    Module-level (picklable by name); returns ``result.to_dict()`` rather
+    than the live :class:`RunResult` so heavy simulator objects never cross
+    the process boundary.  The worker also populates the shared disk cache.
+    """
+    workload, scheme, scale, config, kwargs = args
+    result = run_scheme(workload, scheme, scale=scale, config=config, **kwargs)
+    return (workload, scheme), result.to_dict()
 
 
 def run_sweep(
@@ -100,15 +145,57 @@ def run_sweep(
     schemes: Iterable[str],
     scale: float = 1.0,
     config: Optional[GPUConfig] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
     **kwargs,
 ) -> Dict[Tuple[str, str], RunResult]:
-    """Run the full (workload x scheme) grid."""
-    results = {}
-    for workload in workloads:
-        for scheme in schemes:
-            results[(workload, scheme)] = run_scheme(
-                workload, scheme, scale=scale, config=config, **kwargs
-            )
+    """Run the full (workload x scheme) grid.
+
+    With ``parallel=True`` the grid fans out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (``max_workers``
+    defaults to ``min(len(grid), os.cpu_count())``).  Parallel results come
+    back deserialized — their ``blocks`` are
+    :class:`~repro.stats.counters.BlockSummary` snapshots — and are entered
+    into this process's memoization cache so follow-up ``run_scheme`` calls
+    hit.  Cells that need live observers cannot cross process boundaries;
+    passing ``observers`` forces the serial path.
+    """
+    workloads = list(workloads)
+    schemes = list(schemes)
+    grid = [(w, s) for w in workloads for s in schemes]
+    results: Dict[Tuple[str, str], RunResult] = {}
+
+    serializable = (kwargs.get("observers") is None
+                    and not kwargs.get("with_reuse", False))
+    if parallel and len(grid) > 1 and serializable:
+        import concurrent.futures
+
+        pending = []
+        for workload, scheme in grid:
+            cell_key = (workload, scheme, scale,
+                        kwargs.get("with_accuracy", False),
+                        kwargs.get("with_reuse", False), ())
+            if kwargs.get("use_cache", True) and cell_key in _CACHE:
+                results[(workload, scheme)] = _CACHE[cell_key]
+            else:
+                pending.append((workload, scheme, scale, config, kwargs))
+        if pending:
+            workers = max_workers or min(len(pending), os.cpu_count() or 1)
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                for (cell, data) in pool.map(_sweep_worker, pending):
+                    result = RunResult.from_dict(data)
+                    results[cell] = result
+                    if kwargs.get("use_cache", True):
+                        cell_key = (cell[0], cell[1], scale,
+                                    kwargs.get("with_accuracy", False),
+                                    kwargs.get("with_reuse", False), ())
+                        _CACHE[cell_key] = result
+        return results
+
+    for workload, scheme in grid:
+        results[(workload, scheme)] = run_scheme(
+            workload, scheme, scale=scale, config=config, **kwargs
+        )
     return results
 
 
@@ -129,7 +216,14 @@ def sweep_table(
     return format_table([header] + schemes, rows)
 
 
-def clear_cache() -> None:
-    """Drop memoized results (tests use this for isolation)."""
+def clear_cache(disk: bool = False) -> None:
+    """Drop memoized results (tests use this for isolation).
+
+    ``disk=True`` also wipes the persistent on-disk cache; by default only
+    the in-process memoization is dropped so a deliberate cache warmup
+    (e.g. from a sweep) survives.
+    """
     _CACHE.clear()
     _ORACLE_CACHE.clear()
+    if disk:
+        result_cache.clear()

@@ -118,42 +118,52 @@ class GPU:
         cycle = start_cycle
         snapshots = self._snapshot_stats()
         dispatcher.try_dispatch(self.sms, cycle)
-        committed_before = 0
 
-        while True:
-            issued = False
+        # Block commits are reported by the SMs via a callback flag, so the
+        # loop no longer sums per-SM commit counters every cycle.
+        self._commit_pending = False
+        for sm in self.sms:
+            sm.on_commit = self._note_commit
+        try:
+            while True:
+                issued = False
+                for sm in self.sms:
+                    if sm.tick(cycle):
+                        issued = True
+
+                if self._commit_pending:
+                    self._commit_pending = False
+                    if not dispatcher.exhausted:
+                        dispatcher.try_dispatch(self.sms, cycle + 1)
+
+                busy = any(sm.busy for sm in self.sms)
+                if not busy and dispatcher.exhausted:
+                    break
+
+                if issued:
+                    cycle += 1
+                else:
+                    wake = min(sm.next_wake_time(cycle) for sm in self.sms)
+                    if math.isinf(wake):
+                        for sm in self.sms:
+                            sm.detect_deadlock(cycle)
+                        raise DeadlockError("no warp can make progress")
+                    cycle = max(cycle + 1, wake)
+
+                if cycle - start_cycle > self.max_cycles:
+                    raise DeadlockError(
+                        f"simulation exceeded {self.max_cycles:.0f} cycles; "
+                        "likely a runaway kernel"
+                    )
+        finally:
             for sm in self.sms:
-                if sm.tick(cycle):
-                    issued = True
-
-            committed = sum(sm.stats.blocks_committed for sm in self.sms)
-            if committed != committed_before:
-                committed_before = committed
-                if not dispatcher.exhausted:
-                    dispatcher.try_dispatch(self.sms, cycle + 1)
-
-            busy = any(sm.busy for sm in self.sms)
-            if not busy and dispatcher.exhausted:
-                break
-
-            if issued:
-                cycle += 1
-            else:
-                wake = min(sm.next_wake_time(cycle) for sm in self.sms)
-                if math.isinf(wake):
-                    for sm in self.sms:
-                        sm.detect_deadlock(cycle)
-                    raise DeadlockError("no warp can make progress")
-                cycle = max(cycle + 1, wake)
-
-            if cycle - start_cycle > self.max_cycles:
-                raise DeadlockError(
-                    f"simulation exceeded {self.max_cycles:.0f} cycles; "
-                    "likely a runaway kernel"
-                )
+                sm.on_commit = None
 
         self.now = cycle + 1
         return self._collect(kernel.name, scheme, cycle - start_cycle, snapshots)
+
+    def _note_commit(self, _sm) -> None:
+        self._commit_pending = True
 
     # ------------------------------------------------------------------
     def _snapshot_stats(self):

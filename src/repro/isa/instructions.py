@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
 
@@ -165,29 +166,34 @@ class Instruction:
     target_pc: int = field(default=-1)
     reconv_pc: int = field(default=-1)
 
-    @property
+    # These classification helpers sit on the per-issue hot path (several
+    # lookups per issued instruction); ``cached_property`` turns the repeat
+    # calls into instance-dict hits.  (``cached_property`` writes straight
+    # into ``__dict__`` and therefore works on frozen dataclasses.)
+
+    @cached_property
     def unit(self) -> FuncUnit:
         """Execution pipe this instruction occupies."""
         return func_unit(self.op)
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         return self.op is Opcode.BRA
 
-    @property
+    @cached_property
     def is_memory(self) -> bool:
         return self.op in (Opcode.LD, Opcode.ST)
 
-    @property
+    @cached_property
     def is_load(self) -> bool:
         return self.op is Opcode.LD
 
-    @property
+    @cached_property
     def writes_register(self) -> bool:
         """True when ``dst`` names a general register this op writes."""
         return self.dst is not None and self.op not in (Opcode.SETP, Opcode.ST)
 
-    @property
+    @cached_property
     def writes_predicate(self) -> bool:
         return self.op is Opcode.SETP
 

@@ -12,6 +12,8 @@ scoreboards track dependencies at warp granularity.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 #: Ready-cycle marker for a register waiting on an outstanding load whose
@@ -26,11 +28,14 @@ class WarpRegisterFile:
         self.warp_size = warp_size
         self.regs = np.zeros((num_regs, warp_size), dtype=np.float64)
         self.preds = np.zeros((num_preds, warp_size), dtype=bool)
-        self.reg_ready = np.zeros(num_regs, dtype=np.float64)
-        self.pred_ready = np.zeros(num_preds, dtype=np.float64)
+        # The scoreboards are plain Python lists: they are read one scalar
+        # at a time on the scheduler hot path, where list indexing is
+        # several times cheaper than numpy scalar indexing.
+        self.reg_ready = [0.0] * num_regs
+        self.pred_ready = [0.0] * num_preds
         #: True for registers whose last writer was a load; lets the stall
         #: accounting attribute data stalls to the memory subsystem.
-        self.reg_from_load = np.zeros(num_regs, dtype=bool)
+        self.reg_from_load = [False] * num_regs
 
     # -- value access -------------------------------------------------
     def read(self, reg: int) -> np.ndarray:
@@ -101,11 +106,11 @@ class WarpRegisterFile:
         return float(ready), by_load
 
     def set_reg_ready(self, reg: int, cycle: float, from_load: bool = False) -> None:
-        self.reg_ready[reg] = cycle
+        self.reg_ready[reg] = float(cycle)
         self.reg_from_load[reg] = from_load
 
     def set_pred_ready(self, pred: int, cycle: float) -> None:
-        self.pred_ready[pred] = cycle
+        self.pred_ready[pred] = float(cycle)
 
     def mark_reg_pending(self, reg: int) -> None:
         """Mark ``reg`` as waiting on an in-flight load."""
@@ -113,7 +118,8 @@ class WarpRegisterFile:
 
     def min_pending_free_cycle(self) -> float:
         """Largest finite ready cycle (for idle-skip scheduling)."""
-        finite = self.reg_ready[np.isfinite(self.reg_ready)]
-        later = float(finite.max()) if finite.size else 0.0
-        pred_max = float(self.pred_ready.max()) if self.pred_ready.size else 0.0
+        later = max(
+            (v for v in self.reg_ready if math.isfinite(v)), default=0.0
+        )
+        pred_max = max(self.pred_ready, default=0.0)
         return max(later, pred_max)

@@ -47,11 +47,21 @@ class SIMTStack:
 
     @property
     def pc(self) -> int:
-        return self.top.pc
+        try:
+            return self._entries[-1].pc
+        except IndexError:
+            raise SimulationError(
+                "SIMT stack underflow: warp has no active state"
+            ) from None
 
     @property
     def active_mask(self) -> int:
-        return self.top.mask
+        try:
+            return self._entries[-1].mask
+        except IndexError:
+            raise SimulationError(
+                "SIMT stack underflow: warp has no active state"
+            ) from None
 
     @property
     def empty(self) -> bool:
@@ -66,8 +76,9 @@ class SIMTStack:
         """
         top = self.top
         top.pc = next_pc
-        while len(self._entries) > 1 and self.top.pc == self.top.reconv_pc:
-            self._entries.pop()
+        entries = self._entries
+        while len(entries) > 1 and entries[-1].pc == entries[-1].reconv_pc:
+            entries.pop()
 
     def diverge(self, taken_pc: int, fallthrough_pc: int, taken_mask: int, reconv_pc: int) -> None:
         """Split the top entry on a divergent branch.

@@ -79,6 +79,11 @@ class Warp:
         self._sched_cache_version: int = -1
         self._cached_ready: float = 0.0
         self._cached_needs_mem: bool = False
+        self._cached_opready: float = 0.0
+        self._cached_by_load: bool = False
+        #: True while this warp has an entry in its SM slot's wake heap
+        #: (event-driven core).  Guards the one-entry-per-warp invariant.
+        self._queued: bool = False
 
         # -- CPL state (Section 3.1) -----------------------------------
         #: Relative dynamic-instruction disparity term (nInst in Eq. 1).
@@ -126,29 +131,45 @@ class Warp:
         return self.rf.operands_ready_at(inst.srcs, dst, inst.pred, pred_is_dst)
 
     def operands_ready_detail(self):
-        """``(ready_cycle, limited_by_load)`` for the next instruction."""
-        inst = self.next_instruction()
+        """``(ready_cycle, limited_by_load)`` for the next instruction.
+
+        Memoized together with :meth:`schedule_info` on the issue count: the
+        scoreboard only changes at this warp's own issue, so a fresh
+        scheduling cache already holds the answer.
+        """
+        if self._sched_cache_version != self.issued_instructions:
+            self._refresh_sched_cache()
+        return self._cached_opready, self._cached_by_load
+
+    def _refresh_sched_cache(self) -> None:
+        """Recompute readiness, memory-need, and load-provenance in one pass."""
+        self._sched_cache_version = self.issued_instructions
+        inst = self.block.kernel.instructions[self.stack.pc]
         pred_is_dst = inst.writes_predicate
         dst = inst.dst if (inst.writes_register or pred_is_dst) else None
-        return self.rf.operands_ready_detail(inst.srcs, dst, inst.pred, pred_is_dst)
+        ready, by_load = self.rf.operands_ready_detail(
+            inst.srcs, dst, inst.pred, pred_is_dst
+        )
+        floor = (
+            self.last_issue_cycle + 1 if self.issued_instructions else self.start_cycle
+        )
+        self._cached_opready = ready
+        self._cached_by_load = by_load
+        self._cached_ready = ready if ready > floor else floor
+        self._cached_needs_mem = inst.is_memory and inst.space is MemSpace.GLOBAL
 
     def schedule_info(self):
         """``(ready_cycle, next_needs_global_memory)``, cached between issues.
 
         A warp's scoreboard, PC, and last-issue cycle only change when the
         warp itself issues, so the tuple is memoized on the issue count —
-        this keeps the per-tick readiness scan cheap.
+        this keeps both the readiness scan and the event core's wake-queue
+        updates cheap.
         """
         if self.status is not WarpStatus.RUNNING:
             return np.inf, False
         if self._sched_cache_version != self.issued_instructions:
-            self._sched_cache_version = self.issued_instructions
-            floor = (
-                self.last_issue_cycle + 1 if self.issued_instructions else self.start_cycle
-            )
-            self._cached_ready = max(self.operands_ready_at(), floor)
-            inst = self.next_instruction()
-            self._cached_needs_mem = inst.is_memory and inst.space is MemSpace.GLOBAL
+            self._refresh_sched_cache()
         return self._cached_ready, self._cached_needs_mem
 
     def issuable_at(self) -> float:

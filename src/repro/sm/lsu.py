@@ -18,7 +18,7 @@ from ..memory.cache import Cache
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.mshr import MSHRFile
 from ..memory.request import MemRequest, make_signature
-from ..simt.mask import lanes_of
+from ..simt.mask import bools_from_mask
 from ..simt.warp import Warp
 
 
@@ -47,8 +47,9 @@ class LoadStoreUnit:
     def coalesce(self, addrs: np.ndarray, mask: int) -> List[int]:
         """Distinct line addresses touched by the active lanes, ascending."""
         line_size = self.l1d.config.line_size
-        lines = {int(addrs[lane]) // line_size * line_size for lane in lanes_of(mask)}
-        return sorted(lines)
+        active = bools_from_mask(mask, addrs.shape[0])
+        lines = np.unique(addrs[active].astype(np.int64) // line_size * line_size)
+        return lines.tolist()
 
     def issue(
         self,

@@ -6,11 +6,30 @@ functional-at-issue: when a scheduler slot selects a ready warp, the
 instruction's lane results are computed immediately and its latency is
 recorded in the warp's scoreboard; readiness of later instructions follows
 from those recorded completion times.
+
+Two issue-loop implementations are provided (``GPUConfig.issue_core``):
+
+``"event"`` (default)
+    The event-driven ready-warp core.  Each scheduler slot keeps a min-heap
+    of ``(wake_cycle, warp)`` entries — updated incrementally the moment a
+    completion time becomes known (scoreboard writes at issue, barrier
+    releases, block dispatch) — plus a sorted *ready pool* of warps whose
+    wake time has passed.  ``tick`` only pops newly-awake warps and gates
+    the small pool on MSHR availability; ``next_wake_time`` is a heap peek
+    plus a pool walk.  See ``docs/timing_model.md`` ("Event-driven issue
+    loop") for the invariants.
+
+``"scan"``
+    The original O(warps)-per-cycle linear readiness scan, retained verbatim
+    as the golden reference.  ``tests/test_event_core_parity.py`` asserts
+    the two cores produce bit-identical cycle counts and issue statistics.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -72,6 +91,28 @@ class StreamingMultiprocessor:
         self._regs_in_use = 0
         #: Observers notified of issue events (used by Fig 12's priority trace).
         self.issue_observers: List = []
+        #: Incrementally maintained count of resident, unfinished warps;
+        #: replaces the O(warps) ``any(not w.finished ...)`` scans that
+        #: ``busy`` / ``can_accept`` used to perform every cycle.
+        self._unfinished = 0
+        #: Optional callback fired on block commit (the GPU run loop uses it
+        #: to re-dispatch pending blocks without summing per-SM counters
+        #: every cycle).
+        self.on_commit: Optional[Callable[["StreamingMultiprocessor"], None]] = None
+        #: Set by ``_issue`` when the issued instruction touched the memory
+        #: pipeline (so the event tick only recomputes MSHR occupancy when
+        #: it can actually have changed).
+        self._mshr_touched = False
+        # ---- event-driven ready-warp core state -----------------------
+        self._event_core = config.issue_core == "event"
+        #: Per-slot min-heaps of ``(wake_cycle, dynamic_id, warp)``.  A warp
+        #: is queued here exactly when ``warp._queued`` is True; entries are
+        #: unique per warp (no stale duplicates by construction).
+        self._wake_heaps: List[list] = [[] for _ in self.schedulers]
+        #: Per-slot sorted lists of ``(dynamic_id, warp)`` whose wake time
+        #: has passed; ordering matches the scan core's ``self.warps``
+        #: iteration (dispatch order), preserving issue-order parity.
+        self._ready_pools: List[list] = [[] for _ in self.schedulers]
 
     # ------------------------------------------------------------------
     # Occupancy / dispatch
@@ -79,10 +120,9 @@ class StreamingMultiprocessor:
     def can_accept(self, kernel, block_dim: int) -> bool:
         """Occupancy check: blocks, warps, and register file limits."""
         warps_needed = (block_dim + self.config.warp_size - 1) // self.config.warp_size
-        resident_warps = sum(1 for w in self.warps if not w.finished)
         if len(self.blocks) >= self.config.max_blocks_per_sm:
             return False
-        if resident_warps + warps_needed > self.config.max_warps_per_sm:
+        if self._unfinished + warps_needed > self.config.max_warps_per_sm:
             return False
         regs_needed = kernel.num_regs * block_dim
         return self._regs_in_use + regs_needed <= self.config.registers_per_sm
@@ -106,13 +146,125 @@ class StreamingMultiprocessor:
             warp.last_issue_cycle = now - 1
             block.warps.append(warp)
             self.warps.append(warp)
+            self._unfinished += 1
             self.schedulers[warp.dynamic_id % len(self.schedulers)].notify_warp_added(warp)
+            if self._event_core:
+                self._enqueue(warp)
+
+    # ------------------------------------------------------------------
+    # Event-driven ready-warp core (wake queues)
+    # ------------------------------------------------------------------
+    def _enqueue(self, warp: Warp) -> None:
+        """Queue ``warp`` for its next wake-up, if it is schedulable.
+
+        Idempotent: a warp already sitting in its slot's wake heap is not
+        queued twice (``warp._queued`` guards the invariant that each warp
+        lives in *at most one* of {wake heap, ready pool}).  Finished or
+        barrier-blocked warps are not queued — barrier release and block
+        dispatch re-queue them when they become schedulable again.
+        """
+        if warp._queued or warp.status is not WarpStatus.RUNNING:
+            return
+        wake, _ = warp.schedule_info()
+        warp._queued = True
+        slot = warp.dynamic_id % len(self.schedulers)
+        heapq.heappush(self._wake_heaps[slot], (wake, warp.dynamic_id, warp))
+
+    def _release_barrier(self, block: ThreadBlock) -> None:
+        """Release ``block``'s barrier and re-queue the released warps."""
+        released = block.barrier_release()
+        if self._event_core:
+            for warp in released:
+                self._enqueue(warp)
+
+    @staticmethod
+    def _pool_remove(pool: list, dynamic_id: int) -> None:
+        idx = bisect_left(pool, (dynamic_id,))
+        if idx < len(pool) and pool[idx][0] == dynamic_id:
+            del pool[idx]
 
     # ------------------------------------------------------------------
     # Cycle execution
     # ------------------------------------------------------------------
     def tick(self, now: float) -> bool:
         """Give each scheduler slot one issue opportunity; True if issued."""
+        if self._event_core:
+            return self._tick_event(now)
+        return self._tick_scan(now)
+
+    def _tick_event(self, now: float) -> bool:
+        """Event-driven issue: pop newly-awake warps, gate the ready pool.
+
+        Per-tick cost is O(newly awake + pool size) instead of O(resident
+        warps).  The ready pool holds warps whose operands are ready but
+        which have not issued yet (typically because they are gated on MSHR
+        availability or lost arbitration); it is kept sorted by dynamic id
+        so the scheduler sees candidates in exactly the order the scan core
+        would have produced.
+        """
+        issued = False
+        reserve = self.config.critical_mshr_reserve
+        cpl = self.cpl
+        mshr = self.mshr
+        free_mshrs = -1  # computed lazily: only slots with candidates pay
+        for slot, scheduler in enumerate(self.schedulers):
+            heap = self._wake_heaps[slot]
+            pool = self._ready_pools[slot]
+            while heap and heap[0][0] <= now:
+                _, dyn, warp = heapq.heappop(heap)
+                warp._queued = False
+                if warp.status is not WarpStatus.RUNNING:
+                    continue  # finished/barrier entry invalidated lazily
+                t, needs_mem = warp.schedule_info()
+                if t > now:
+                    # Stale wake time (defensive; scoreboards only move at
+                    # the warp's own issue): re-queue at the fresh time.
+                    warp._queued = True
+                    heapq.heappush(heap, (t, dyn, warp))
+                    continue
+                # A warp's readiness tuple is frozen until it issues (and
+                # issuing removes it from the pool), so ``t``/``needs_mem``
+                # can be cached in the pool entry.
+                insort(pool, (dyn, warp, t, needs_mem))
+            if not pool:
+                continue
+            if free_mshrs < 0:
+                free_mshrs = mshr.free_entries(now)
+            if free_mshrs > 0 and not reserve:
+                # Fast path: no MSHR back-pressure, every pooled warp is
+                # eligible (the common case).
+                ready = [entry[1] for entry in pool]
+            else:
+                ready = []
+                for _, w, _, needs_mem in pool:
+                    if needs_mem:  # next instruction needs an MSHR
+                        if free_mshrs <= 0:
+                            continue
+                        if reserve and free_mshrs <= reserve and cpl is not None:
+                            if not cpl.is_critical(w):
+                                continue
+                    ready.append(w)
+                if not ready:
+                    continue
+            warp = scheduler.select(ready, now)
+            if warp is None:
+                continue
+            self._pool_remove(pool, warp.dynamic_id)
+            self._mshr_touched = False
+            self._issue(warp, scheduler, now)
+            # Re-queue at the post-issue wake time (no-op when the warp
+            # finished, parked at a barrier, or was already re-queued by a
+            # barrier release triggered by this very issue).
+            self._enqueue(warp)
+            if self._mshr_touched and free_mshrs >= 0:
+                # MSHR occupancy only moves when a memory instruction
+                # issued; skip the recompute otherwise (same value).
+                free_mshrs = mshr.free_entries(now)
+            issued = True
+        return issued
+
+    def _tick_scan(self, now: float) -> bool:
+        """Reference implementation: linear readiness scan over all warps."""
         issued = False
         num_slots = len(self.schedulers)
         reserve = self.config.critical_mshr_reserve
@@ -153,11 +305,19 @@ class StreamingMultiprocessor:
         lanes = popcount(active)
 
         # ---- stall accounting (Fig 2c / Fig 4 decomposition) ----------
+        # Written with conditionals instead of min/max builtins: this runs
+        # once per issued instruction and the call overhead shows up.
         base = warp.last_issue_cycle + 1 if warp.issued_instructions else warp.start_cycle
         ready, limited_by_load = warp.operands_ready_detail()
-        gap = max(0.0, now - base)
-        data_stall = max(0.0, min(now, ready) - base)
-        sched_stall = max(0.0, now - max(ready, base))
+        gap = now - base
+        if gap < 0.0:
+            gap = 0.0
+        data_stall = (now if now < ready else ready) - base
+        if data_stall < 0.0:
+            data_stall = 0.0
+        sched_stall = now - (ready if ready > base else base)
+        if sched_stall < 0.0:
+            sched_stall = 0.0
         warp.total_stall_cycles += gap
         warp.sched_stall_cycles += sched_stall
         if limited_by_load:
@@ -182,6 +342,7 @@ class StreamingMultiprocessor:
             self._resolve_branch(warp, inst, result.taken_mask, active)
             self.stats.branches += 1
         elif op in (Opcode.LD, Opcode.ST):
+            self._mshr_touched = True
             is_critical = self.cpl.is_critical(warp) if self.cpl is not None else False
             completion, _ = self.lsu.issue(
                 warp, inst, result.mem_addrs, result.mem_mask, now, is_critical
@@ -196,7 +357,7 @@ class StreamingMultiprocessor:
             self.stats.barriers += 1
             warp.stack.advance(pc + 1)
             if warp.block.barrier_arrive(warp):
-                warp.block.barrier_release()
+                self._release_barrier(warp.block)
         elif op is Opcode.EXIT:
             warp.stack.kill_lanes(active)
             if warp.stack.empty:
@@ -249,10 +410,11 @@ class StreamingMultiprocessor:
 
     def _finish_warp(self, warp: Warp, scheduler: WarpScheduler, now: float) -> None:
         warp.mark_finished(now)
+        self._unfinished -= 1
         scheduler.notify_warp_finished(warp)
         block = warp.block
         if block.barrier_pending_release:
-            block.barrier_release()
+            self._release_barrier(block)
         if block.done:
             self._commit_block(block)
 
@@ -264,10 +426,38 @@ class StreamingMultiprocessor:
         self.warps = [w for w in self.warps if w.block is not block]
         if self.cpl is not None:
             self.cpl.forget_block(block.block_id)
+        if self.on_commit is not None:
+            self.on_commit(self)
 
     # ------------------------------------------------------------------
     def next_wake_time(self, now: float = 0.0) -> float:
-        """Earliest cycle any resident warp could issue (inf if none)."""
+        """Earliest cycle any resident warp could issue (inf if none).
+
+        Event core: a heap peek per slot plus a walk of the (small) ready
+        pools — pool warps are operand-ready but MSHR-gated, so their wake
+        is bounded by the next MSHR free time, exactly as the scan computes.
+        Warps parked at a barrier sit in neither structure and contribute
+        nothing, matching the scan's ``inf`` for non-RUNNING warps.
+        """
+        if not self._event_core:
+            return self._next_wake_scan(now)
+        wake = math.inf
+        mshr_free_at: Optional[float] = None
+        for heap, pool in zip(self._wake_heaps, self._ready_pools):
+            if heap and heap[0][0] < wake:
+                wake = heap[0][0]
+            for _, _, t, needs_mem in pool:
+                if needs_mem:
+                    if mshr_free_at is None:
+                        mshr_free_at = self.mshr.next_free_time(now)
+                    if mshr_free_at > t:
+                        t = mshr_free_at
+                if t < wake:
+                    wake = t
+        return wake
+
+    def _next_wake_scan(self, now: float) -> float:
+        """Reference implementation: scan every resident warp."""
         wake = math.inf
         mshr_free_at: Optional[float] = None
         for warp in self.warps:
@@ -284,7 +474,7 @@ class StreamingMultiprocessor:
 
     @property
     def busy(self) -> bool:
-        return any(not w.finished for w in self.warps)
+        return self._unfinished > 0
 
     def detect_deadlock(self, now: float) -> None:
         """Raise when resident warps exist but none can ever wake."""

@@ -41,6 +41,75 @@ def merge_cache_stats(parts: List[CacheStats]) -> CacheStats:
 
 
 @dataclass
+class WarpSummary:
+    """Picklable / JSON-serializable snapshot of one committed warp.
+
+    Carries every per-warp field the analysis layers (disparity, figure
+    scripts, the CAWS oracle) read from live :class:`~repro.simt.warp.Warp`
+    objects, so cached or cross-process results duck-type cleanly.
+    """
+
+    warp_id_in_block: int
+    execution_time: float
+    issued_instructions: int
+    thread_instructions: int
+    divergent_branches: int
+    total_stall_cycles: float
+    mem_stall_cycles: float
+    sched_stall_cycles: float
+    criticality: float
+
+    @classmethod
+    def from_warp(cls, warp) -> "WarpSummary":
+        return cls(
+            warp_id_in_block=warp.warp_id_in_block,
+            execution_time=warp.execution_time,
+            issued_instructions=warp.issued_instructions,
+            thread_instructions=warp.thread_instructions,
+            divergent_branches=warp.divergent_branches,
+            total_stall_cycles=warp.total_stall_cycles,
+            mem_stall_cycles=warp.mem_stall_cycles,
+            sched_stall_cycles=warp.sched_stall_cycles,
+            criticality=warp.criticality,
+        )
+
+
+@dataclass
+class BlockSummary:
+    """Serializable snapshot of one committed thread block."""
+
+    block_id: int
+    num_warps: int
+    dispatch_cycle: float
+    commit_cycle: Optional[float]
+    warps: List[WarpSummary] = field(default_factory=list)
+
+    @classmethod
+    def from_block(cls, block) -> "BlockSummary":
+        return cls(
+            block_id=block.block_id,
+            num_warps=block.num_warps,
+            dispatch_cycle=block.dispatch_cycle,
+            commit_cycle=block.commit_cycle,
+            warps=[WarpSummary.from_warp(w) for w in block.warps],
+        )
+
+    @property
+    def execution_time(self) -> Optional[float]:
+        if self.commit_cycle is None:
+            return None
+        return self.commit_cycle - self.dispatch_cycle
+
+    def warp_execution_times(self) -> List[float]:
+        return [w.execution_time for w in self.warps]
+
+
+def _jsonable(value) -> bool:
+    """True for plain scalars that survive a JSON round trip unchanged."""
+    return isinstance(value, (bool, int, float, str)) or value is None
+
+
+@dataclass
 class RunResult:
     """Everything a launch produced, ready for the experiment harness.
 
@@ -106,4 +175,59 @@ class RunResult:
             f"{self.kernel_name:<16} {self.scheme:<14} cycles={self.cycles:>10.0f} "
             f"IPC={self.ipc:7.3f} L1 hit={self.l1_hit_rate:6.2%} "
             f"MPKI={self.l1_mpki:7.2f}"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent result cache, cross-process sweeps)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Plain-data form of this result (JSON- and pickle-friendly).
+
+        Live :class:`~repro.simt.block.ThreadBlock` objects are reduced to
+        :class:`BlockSummary`; ``extra`` entries that are not plain scalars
+        (e.g. profiler objects) are dropped.
+        """
+        blocks = [
+            b if isinstance(b, BlockSummary) else BlockSummary.from_block(b)
+            for b in self.blocks
+        ]
+        return {
+            "kernel_name": self.kernel_name,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "thread_instructions": self.thread_instructions,
+            "warp_instructions": self.warp_instructions,
+            "l1_stats": dataclasses.asdict(self.l1_stats),
+            "l2_stats": dataclasses.asdict(self.l2_stats),
+            "dram_accesses": self.dram_accesses,
+            "warp_size": self.warp_size,
+            "blocks": [dataclasses.asdict(b) for b in blocks],
+            "extra": {k: v for k, v in self.extra.items() if _jsonable(v)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Rebuild a result whose blocks are :class:`BlockSummary` objects."""
+        blocks = [
+            BlockSummary(
+                block_id=b["block_id"],
+                num_warps=b["num_warps"],
+                dispatch_cycle=b["dispatch_cycle"],
+                commit_cycle=b["commit_cycle"],
+                warps=[WarpSummary(**w) for w in b["warps"]],
+            )
+            for b in data["blocks"]
+        ]
+        return cls(
+            kernel_name=data["kernel_name"],
+            scheme=data["scheme"],
+            cycles=data["cycles"],
+            thread_instructions=data["thread_instructions"],
+            warp_instructions=data["warp_instructions"],
+            l1_stats=CacheStats(**data["l1_stats"]),
+            l2_stats=CacheStats(**data["l2_stats"]),
+            blocks=blocks,
+            dram_accesses=data["dram_accesses"],
+            extra=dict(data.get("extra", {})),
+            warp_size=data.get("warp_size", 32),
         )

@@ -10,6 +10,23 @@ from repro.config import CacheConfig
 from repro.isa.instructions import CmpOp, Special
 
 
+def pytest_collection_modifyitems(items):
+    """Auto-tag: every test not marked ``slow`` belongs to tier 1."""
+    for item in items:
+        if "slow" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the persistent result cache at a per-test scratch directory.
+
+    Unit tests must never read results written by earlier runs (or other
+    test files) from the repo-level ``.repro_cache/``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+
+
 @pytest.fixture
 def config():
     """A small, fast configuration for unit tests."""

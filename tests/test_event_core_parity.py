@@ -1,0 +1,86 @@
+"""Golden determinism: the event-driven issue core must exactly match the
+linear-scan reference core.
+
+The event core (``GPUConfig.issue_core = "event"``) is a pure scheduling
+*implementation* change — cycle counts, issue statistics, and the entire
+cache/DRAM trace must be bit-identical to the scan core for every workload
+and scheme.  A fast subset runs in tier 1; the full (workload x scheme)
+grid is marked ``slow``.
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.cawa import SCHEMES
+from repro.experiments.runner import run_scheme
+from repro.workloads import workload_names
+
+#: Every scheduling/prioritization scheme the grid covers.
+GRID_SCHEMES = ["rr", "gto", "two_level", "gcaws", "cawa"]
+SCALE = 0.25
+
+
+def _signature(result):
+    """Everything that must not drift between the two cores."""
+    return (
+        result.cycles,
+        result.warp_instructions,
+        result.thread_instructions,
+        result.l1_stats.accesses,
+        result.l1_stats.hits,
+        result.l1_stats.misses,
+        result.l2_stats.misses,
+        result.dram_accesses,
+    )
+
+
+def _run_both(workload, scheme, scale=SCALE):
+    """Run one cell under each core with every cache bypassed.
+
+    ``use_cache=False`` matters: the disk cache key deliberately excludes
+    the issue-core selector, so a cached event-core result would satisfy
+    the scan run and mask a real divergence.
+    """
+    results = {}
+    for core in ("event", "scan"):
+        cfg = GPUConfig.default_sim().with_issue_core(core)
+        results[core] = run_scheme(
+            workload, scheme, scale=scale, config=cfg,
+            use_cache=False, persistent=False,
+        )
+    return results
+
+
+class TestParityFast:
+    """Tier-1 subset: one Sens workload across all five schemes."""
+
+    @pytest.mark.parametrize("scheme", GRID_SCHEMES)
+    def test_synthetic_imbalance(self, scheme):
+        results = _run_both("synthetic_imbalance", scheme)
+        assert _signature(results["event"]) == _signature(results["scan"])
+
+    def test_barrier_workload(self):
+        # kmeans exercises block-wide barriers (barrier wake path).
+        results = _run_both("kmeans", "cawa", scale=0.125)
+        assert _signature(results["event"]) == _signature(results["scan"])
+
+    def test_divergent_workload(self):
+        results = _run_both("synthetic_divergence", "gcaws")
+        assert _signature(results["event"]) == _signature(results["scan"])
+
+
+@pytest.mark.slow
+class TestParityFullGrid:
+    """The full golden grid: every Table 2 workload x every scheme."""
+
+    @pytest.mark.parametrize("workload", workload_names())
+    @pytest.mark.parametrize("scheme", GRID_SCHEMES)
+    def test_grid_cell(self, workload, scheme):
+        results = _run_both(workload, scheme)
+        assert _signature(results["event"]) == _signature(results["scan"]), (
+            f"event/scan divergence on {workload} x {scheme}"
+        )
+
+
+def test_all_grid_schemes_are_real():
+    assert set(GRID_SCHEMES) <= set(SCHEMES)

@@ -1,0 +1,148 @@
+"""Persistent result cache: round trips, key invalidation, parallel sweeps."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.experiments import result_cache
+from repro.experiments import runner
+from repro.experiments.runner import run_scheme, run_sweep
+from repro.stats.counters import BlockSummary, RunResult, WarpSummary
+
+SCALE = 0.25
+WL = "synthetic_imbalance"
+
+
+@pytest.fixture(autouse=True)
+def fresh_memory_cache():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+def _metrics(result):
+    return (result.cycles, result.warp_instructions, result.thread_instructions,
+            result.l1_stats.misses, result.l2_stats.misses, result.dram_accesses)
+
+
+class TestRoundTrip:
+    def test_disk_hit_after_memory_cache_cleared(self):
+        first = run_scheme(WL, "cawa", scale=SCALE)
+        assert len(list(result_cache.cache_dir().glob("*.json"))) >= 1
+        runner.clear_cache()  # memory only; disk survives
+        second = run_scheme(WL, "cawa", scale=SCALE)
+        assert _metrics(second) == _metrics(first)
+        assert isinstance(second.blocks[0], BlockSummary)
+        assert isinstance(second.blocks[0].warps[0], WarpSummary)
+
+    def test_summaries_duck_type_analyses(self):
+        run_scheme(WL, "rr", scale=SCALE)
+        runner.clear_cache()
+        cached = run_scheme(WL, "rr", scale=SCALE)
+        from repro.stats.disparity import critical_warp_of, max_block_disparity
+        from repro.stats.export import result_to_json
+        assert max_block_disparity(cached) >= 0.0
+        assert critical_warp_of(cached.blocks[0]).execution_time >= 0.0
+        json.loads(result_to_json(cached))  # export path still serializes
+
+    def test_to_dict_from_dict_is_lossless(self):
+        result = run_scheme(WL, "gto", scale=SCALE, use_cache=False,
+                            persistent=False)
+        clone = RunResult.from_dict(result.to_dict())
+        assert _metrics(clone) == _metrics(result)
+        assert clone.ipc == result.ipc
+        assert [b.warp_execution_times() for b in clone.blocks] == \
+               [b.warp_execution_times() for b in result.blocks]
+
+    def test_oracle_builds_from_cached_blocks(self):
+        run_scheme(WL, "rr", scale=SCALE)
+        runner.clear_cache()
+        oracle = runner.build_oracle(WL, scale=SCALE)
+        assert oracle and all(t >= 0 for t in oracle.values())
+
+
+class TestKeyInvalidation:
+    def test_config_fingerprint_changes_key(self):
+        a = GPUConfig.default_sim().fingerprint()
+        b = GPUConfig.default_sim(num_sms=3).fingerprint()
+        assert a != b
+        assert (result_cache.cache_key(WL, "rr", 1.0, a)
+                != result_cache.cache_key(WL, "rr", 1.0, b))
+
+    def test_issue_core_does_not_change_fingerprint(self):
+        # The two cores are bit-identical, so they must share cache entries.
+        cfg = GPUConfig.default_sim()
+        assert cfg.fingerprint() == cfg.with_issue_core("scan").fingerprint()
+
+    def test_version_changes_key(self, monkeypatch):
+        key = result_cache.cache_key(WL, "rr", 1.0, "abc")
+        monkeypatch.setattr(result_cache, "__version__", "999.0.0")
+        assert result_cache.cache_key(WL, "rr", 1.0, "abc") != key
+
+    def test_scale_and_scheme_change_key(self):
+        fp = GPUConfig.default_sim().fingerprint()
+        base = result_cache.cache_key(WL, "rr", 1.0, fp)
+        assert result_cache.cache_key(WL, "rr", 0.5, fp) != base
+        assert result_cache.cache_key(WL, "gto", 1.0, fp) != base
+        assert result_cache.cache_key(WL, "rr", 1.0, fp, with_accuracy=True) != base
+
+    def test_stale_version_entry_misses(self, monkeypatch):
+        run_scheme(WL, "rr", scale=SCALE)  # populate under current version
+        runner.clear_cache()
+        monkeypatch.setattr(result_cache, "__version__", "999.0.0")
+        fp = GPUConfig.default_sim().fingerprint()
+        key = result_cache.cache_key(WL, "rr", SCALE, fp)
+        assert result_cache.load(key) is None
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_removed(self):
+        result = run_scheme(WL, "rr", scale=SCALE)
+        entries = list(result_cache.cache_dir().glob("*.json"))
+        assert entries
+        entries[0].write_text("{not json", encoding="utf-8")
+        key = entries[0].stem
+        assert result_cache.load(key) is None
+        assert not entries[0].exists()
+        # And run_scheme falls back to simulating.
+        runner.clear_cache()
+        again = run_scheme(WL, "rr", scale=SCALE)
+        assert again.cycles == result.cycles
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(result_cache.ENV_ENABLE, "0")
+        run_scheme(WL, "rr", scale=SCALE)
+        assert not list(result_cache.cache_dir().glob("*.json"))
+
+    def test_clear_cache_disk_flag(self):
+        run_scheme(WL, "rr", scale=SCALE)
+        assert list(result_cache.cache_dir().glob("*.json"))
+        runner.clear_cache(disk=True)
+        assert not list(result_cache.cache_dir().glob("*.json"))
+
+    def test_non_cacheable_runs_do_not_touch_disk(self):
+        run_scheme("bfs", "rr", scale=SCALE, balanced=True)  # workload kwargs
+        run_scheme(WL, "rr", scale=SCALE, with_reuse=True)  # live profiler
+        assert not list(result_cache.cache_dir().glob("*.json"))
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        serial = run_sweep([WL], ["rr", "gto"], scale=SCALE,
+                           use_cache=False, persistent=False)
+        parallel = run_sweep([WL, "synthetic_divergence"], ["rr", "gto"],
+                             scale=SCALE, parallel=True, max_workers=2)
+        for cell in serial:
+            assert parallel[cell].cycles == serial[cell].cycles
+            assert (parallel[cell].l1_stats.misses
+                    == serial[cell].l1_stats.misses)
+        assert isinstance(parallel[(WL, "rr")].blocks[0], BlockSummary)
+
+    def test_parallel_workers_populate_disk_cache(self):
+        run_sweep([WL], ["rr", "gto"], scale=SCALE, parallel=True,
+                  max_workers=2)
+        names = [p.name for p in result_cache.cache_dir().glob("*.json")]
+        assert any(name.startswith(f"{WL}-rr-") for name in names)
+        assert any(name.startswith(f"{WL}-gto-") for name in names)
