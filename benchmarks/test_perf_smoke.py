@@ -1,12 +1,16 @@
 """Simulator-throughput smoke benchmark (host performance, not paper data).
 
 Records **simulated cycles per host CPU second** for the event-driven issue
-core on the bfs x cawa cell (the ISSUE's reference cell) plus the
-event-vs-scan core speedup, both into pytest-benchmark's ``extra_info`` so
-``--benchmark-json`` output can be tracked across commits.
+core on the bfs x cawa cell (the ISSUE's reference cell), the
+event-vs-scan core speedup, and the trace-replay-vs-execute speedup, all
+into pytest-benchmark's ``extra_info`` so ``--benchmark-json`` output can
+be tracked across commits.
 
-Caches are bypassed throughout — this measures simulation, not replay.
+Result caches are bypassed throughout — these measure simulation (or
+trace replay), never the result cache.
 """
+
+import time
 
 import pytest
 
@@ -51,3 +55,57 @@ def test_event_vs_scan_speedup(benchmark):
         report["scan"]["cycles_per_second"]
     )
     benchmark.extra_info["event_speedup"] = report["event_speedup"]["wall"]
+
+
+@pytest.mark.slow
+def test_trace_replay_speedup(benchmark):
+    """Trace replay vs execution-driven simulation on the reference cell.
+
+    Records the wall-clock speedup of replaying a warm in-memory trace
+    over a cold execute run (the cold-result/warm-trace sweep case).  The
+    bit-identical contract is the hard invariant; the speedup ratio is
+    recorded for tracking and only loosely asserted (CI machines vary,
+    but replay skips the functional executor entirely and must not be
+    slower than execution).
+    """
+    from repro import trace as trace_mod
+    from repro.config import GPUConfig
+    from repro.core.cawa import apply_scheme
+    from repro.experiments.runner import run_scheme
+
+    clear_cache()
+    cfg = GPUConfig.default_sim()
+    _, program = trace_mod.record_workload("bfs", scale=SCALE, config=cfg,
+                                           scheme="cawa")
+
+    def execute_once():
+        clear_cache()
+        start = time.perf_counter()
+        result = run_scheme("bfs", "cawa", scale=SCALE, config=cfg,
+                            use_cache=False, persistent=False)
+        return result, time.perf_counter() - start
+
+    def replay_once():
+        start = time.perf_counter()
+        result = trace_mod.replay_program(
+            program, apply_scheme(cfg, "cawa"), scheme="cawa"
+        )[-1]
+        return result, time.perf_counter() - start
+
+    exec_result, exec_seconds = execute_once()
+    replay_result, replay_seconds = run_once(benchmark, replay_once)
+
+    assert replay_result.cycles == exec_result.cycles
+    assert replay_result.l1_stats.misses == exec_result.l1_stats.misses
+    assert replay_result.dram_accesses == exec_result.dram_accesses
+    speedup = exec_seconds / replay_seconds
+    assert speedup > 1.0, (
+        f"trace replay ({replay_seconds:.2f}s) should beat execution "
+        f"({exec_seconds:.2f}s)"
+    )
+    benchmark.extra_info["workload"] = "bfs"
+    benchmark.extra_info["scheme"] = "cawa"
+    benchmark.extra_info["execute_seconds"] = exec_seconds
+    benchmark.extra_info["replay_seconds"] = replay_seconds
+    benchmark.extra_info["replay_speedup"] = speedup
+    benchmark.extra_info["trace_id"] = program.trace_id

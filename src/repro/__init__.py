@@ -23,6 +23,9 @@ from .errors import (
     LaunchError,
     ReproError,
     SimulationError,
+    TraceError,
+    TraceFormatError,
+    TraceMismatchError,
 )
 from .gpu import GPU
 from .isa import CmpOp, Kernel, KernelBuilder, MemSpace, Opcode, Special
@@ -49,6 +52,9 @@ __all__ = [
     "SCHEMES",
     "SimulationError",
     "Special",
+    "TraceError",
+    "TraceFormatError",
+    "TraceMismatchError",
     "apply_scheme",
     "__version__",
 ]

@@ -7,6 +7,9 @@ Usage (``python -m repro <command>``)::
     python -m repro sweep --workloads bfs,kmeans --schemes rr,gto,cawa
     python -m repro figure 9
     python -m repro tables
+    python -m repro trace record --workload bfs
+    python -m repro trace replay --workload bfs --scheme cawa
+    python -m repro trace info
 """
 
 from __future__ import annotations
@@ -118,6 +121,73 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from . import trace as trace_mod
+    from .errors import TraceError
+
+    config = _base_config(args)
+    if args.trace_command == "record":
+        result, program = trace_mod.record_workload(
+            args.workload, scale=args.scale, config=config,
+            scheme=args.scheme, check=not args.no_check,
+        )
+        path = trace_mod.store_program(program, args.workload, args.scale, config)
+        print(result.summary())
+        print(
+            f"recorded trace {program.trace_id}: "
+            f"{len(program.launches)} launch(es), "
+            f"{program.record_count} records -> {path}"
+        )
+        return 0
+
+    if args.trace_command == "replay":
+        try:
+            program = trace_mod.load_program(
+                args.workload, args.scale, config, strict=True
+            )
+        except TraceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        from .core.cawa import apply_scheme
+
+        cfg = apply_scheme(config, args.scheme).with_frontend("trace")
+        oracle = None
+        if cfg.scheduler_name == "caws":
+            from .experiments.runner import build_oracle
+
+            oracle = build_oracle(args.workload, args.scale, config)
+        results = trace_mod.replay_program(
+            program, cfg, scheme=args.scheme, oracle=oracle
+        )
+        for result in results:
+            print(result.summary())
+        print(f"replayed trace {program.trace_id} ({len(results)} launch(es))")
+        return 0
+
+    # info: list every stored trace with its header metadata.
+    entries = trace_mod.list_traces()
+    if not entries:
+        print(f"no traces under {trace_mod.trace_dir()}")
+        return 0
+    rows = []
+    for path, program in entries:
+        if isinstance(program, Exception):
+            rows.append([path.name, "<unreadable>", "-", "-", "-", str(program)])
+            continue
+        rows.append([
+            path.name,
+            program.workload,
+            f"{program.scale:g}",
+            program.trace_id,
+            str(program.record_count),
+            program.meta.get("recorded_scheme", "?"),
+        ])
+    print(format_table(
+        ["file", "workload", "scale", "trace_id", "records", "scheme"], rows
+    ))
+    return 0
+
+
 def cmd_figure(args) -> int:
     if args.number not in FIGURES:
         print(f"no module for figure {args.number}; available: {FIGURES}",
@@ -188,6 +258,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--repeats", type=int, default=3,
                         help="best-of-N repeats for --compare")
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="record, replay, or inspect trace-driven simulation traces",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trec = trace_sub.add_parser(
+        "record", help="run a workload once and store its functional trace"
+    )
+    p_trec.add_argument("--workload", required=True,
+                        choices=workload_names(include_synthetic=True))
+    p_trec.add_argument("--scheme", default="rr", choices=sorted(SCHEMES),
+                        help="scheme for the recording run (trace content is "
+                        "scheme-invariant; default rr)")
+    p_trec.add_argument("--scale", type=float, default=1.0)
+    p_trec.add_argument("--fermi", action="store_true")
+    p_trec.add_argument("--no-check", action="store_true",
+                        help="skip functional verification")
+    p_trep = trace_sub.add_parser(
+        "replay", help="replay a stored trace through the timing model"
+    )
+    p_trep.add_argument("--workload", required=True,
+                        choices=workload_names(include_synthetic=True))
+    p_trep.add_argument("--scheme", default="rr", choices=sorted(SCHEMES))
+    p_trep.add_argument("--scale", type=float, default=1.0)
+    p_trep.add_argument("--fermi", action="store_true")
+    trace_sub.add_parser("info", help="list stored traces and their headers")
+
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")
     p_fig.add_argument("number", type=int)
     p_fig.add_argument("--scale", type=float, default=1.0)
@@ -208,6 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": cmd_profile,
         "figure": cmd_figure,
         "tables": cmd_tables,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

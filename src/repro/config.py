@@ -134,6 +134,14 @@ class GPUConfig:
     #: cycle counts (see ``tests/test_event_core_parity.py``); the scan path
     #: is retained as the golden reference.
     issue_core: str = "event"
+    #: Simulation frontend: ``"execute"`` (default) runs the functional
+    #: executor at issue time; ``"trace"`` replays a previously recorded
+    #: per-warp dynamic instruction stream through the same timing model,
+    #: skipping register files and lane math entirely.  Replay is
+    #: bit-identical to execution by contract (``tests/test_trace_parity.py``)
+    #: and therefore shares result-cache entries with the execute frontend.
+    #: See ``docs/trace_driven.md``.
+    frontend: str = "execute"
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0:
@@ -151,6 +159,10 @@ class GPUConfig:
         if self.issue_core not in ("event", "scan"):
             raise ConfigError(
                 f"issue_core must be 'event' or 'scan', got {self.issue_core!r}"
+            )
+        if self.frontend not in ("execute", "trace"):
+            raise ConfigError(
+                f"frontend must be 'execute' or 'trace', got {self.frontend!r}"
             )
 
     @classmethod
@@ -209,16 +221,40 @@ class GPUConfig:
         """Return a copy using issue-loop implementation ``core``."""
         return replace(self, issue_core=core)
 
+    def with_frontend(self, frontend: str) -> "GPUConfig":
+        """Return a copy using simulation frontend ``frontend``."""
+        return replace(self, frontend=frontend)
+
     def fingerprint(self) -> str:
         """Stable short hash of every timing-relevant parameter.
 
         Keys the persistent on-disk result cache: any change to the
         configuration (cache geometry, latencies, scheduler, ...) yields a
-        different fingerprint and therefore a cache miss.  ``issue_core`` is
-        deliberately *excluded* — the event-driven and scan cores are
-        bit-identical by contract, so results are shared between them.
+        different fingerprint and therefore a cache miss.  ``issue_core``
+        and ``frontend`` are deliberately *excluded* — the event/scan cores
+        and the execute/trace frontends are bit-identical by contract, so
+        results are shared between them.
         """
         payload = dataclasses.asdict(self)
         payload.pop("issue_core", None)
+        payload.pop("frontend", None)
         blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def functional_fingerprint(self) -> str:
+        """Stable short hash of the *functional-relevant* parameters only.
+
+        Keys the persistent trace store (:mod:`repro.trace.store`): a
+        recorded per-warp instruction stream depends on the warp width
+        (active masks, lane ids) and the L1D line size (which defines the
+        coalescing granularity baked into the recorded line addresses), but
+        **not** on timing-only knobs — scheduler, cache geometry beyond the
+        line size, latencies, CACP, issue core.  Sweeping schemes therefore
+        reuses one trace per (workload, scale) instead of re-recording.
+        """
+        payload = {
+            "warp_size": self.warp_size,
+            "l1_line_size": self.l1d.line_size,
+        }
+        blob = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

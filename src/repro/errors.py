@@ -27,3 +27,18 @@ class DeadlockError(SimulationError):
 
 class LaunchError(ReproError):
     """Raised for invalid kernel launch parameters."""
+
+
+class TraceError(ReproError):
+    """Base class for trace-driven frontend errors (:mod:`repro.trace`)."""
+
+
+class TraceFormatError(TraceError):
+    """Raised when a trace file is corrupt, truncated, or uses an
+    incompatible trace-format version."""
+
+
+class TraceMismatchError(TraceError):
+    """Raised when a structurally valid trace does not match the current
+    run: wrong functional config fingerprint, kernel, launch geometry, or
+    an exhausted / missing launch sequence."""

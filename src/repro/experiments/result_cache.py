@@ -17,6 +17,11 @@ Key design:
 * The directory defaults to ``.repro_cache/`` under the current working
   directory; override with the ``REPRO_CACHE_DIR`` environment variable or
   :func:`set_cache_dir`.  Set ``REPRO_DISK_CACHE=0`` to disable entirely.
+* The config fingerprint also excludes the ``frontend`` selector: trace
+  replay is bit-identical to execution (``docs/trace_driven.md``), so the
+  two frontends deliberately share cache entries.  The trace store itself
+  lives alongside the results, under ``traces/`` inside :func:`cache_dir`
+  (see :mod:`repro.trace.store`), and is cleared separately.
 """
 
 from __future__ import annotations

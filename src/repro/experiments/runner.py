@@ -13,6 +13,17 @@ Results are memoized at two levels:
 
 :func:`run_sweep` can additionally fan the (workload x scheme) grid over a
 process pool (``parallel=True``); workers share the disk cache.
+
+With ``config.frontend == "trace"`` (see :mod:`repro.trace` and
+``docs/trace_driven.md``) a third layer joins in: on a **result**-cache miss
+the runner checks the persistent **trace** store
+(``.repro_cache/traces/``, keyed on the functional fingerprint only).  A
+trace hit replays the recorded per-warp streams through the timing model —
+bit-identical to execution, several times faster; a trace miss runs the
+workload once under the execute frontend *with a recorder attached*, so the
+cell's result and its trace are produced by the same simulation.  Because
+traces ignore timing-only knobs, a scheme sweep records once per workload
+and replays every other cell.
 """
 
 from __future__ import annotations
@@ -99,24 +110,30 @@ def run_scheme(
             return cached
 
     oracle = build_oracle(workload, scale, config) if cfg.scheduler_name == "caws" else None
-    gpu = GPU(cfg, oracle=oracle)
 
-    accuracy_tracker = None
-    if with_accuracy:
-        accuracy_tracker = CriticalityAccuracyTracker()
-        for sm in gpu.sms:
-            sm.issue_observers.append(accuracy_tracker)
-    reuse_profiler = None
-    if with_reuse:
-        reuse_profiler = ReuseDistanceProfiler()
-        for sm in gpu.sms:
-            sm.l1d.observers.append(reuse_profiler)
-    for observer in observers or ():
-        for sm in gpu.sms:
-            sm.issue_observers.append(observer)
+    accuracy_tracker = CriticalityAccuracyTracker() if with_accuracy else None
+    reuse_profiler = ReuseDistanceProfiler() if with_reuse else None
+    issue_observers = list(observers or ())
+    if accuracy_tracker is not None:
+        issue_observers.append(accuracy_tracker)
+    l1_observers = [reuse_profiler] if reuse_profiler is not None else []
 
-    wl = make_workload(workload, scale=scale, **workload_kwargs)
-    result = wl.run(gpu, scheme=scheme, check=check)
+    if cfg.frontend == "trace":
+        result = _trace_frontend_run(
+            workload, scheme, scale, cfg, oracle, check,
+            issue_observers, l1_observers, workload_kwargs,
+        )
+    else:
+        gpu = GPU(cfg, oracle=oracle)
+        for observer in issue_observers:
+            for sm in gpu.sms:
+                sm.issue_observers.append(observer)
+        for observer in l1_observers:
+            for sm in gpu.sms:
+                sm.l1d.observers.append(observer)
+        wl = make_workload(workload, scale=scale, **workload_kwargs)
+        result = wl.run(gpu, scheme=scheme, check=check)
+
     if accuracy_tracker is not None:
         result.extra["cpl_accuracy"] = accuracy_tracker.accuracy(result)
     if reuse_profiler is not None:
@@ -125,6 +142,60 @@ def run_scheme(
         _CACHE[key] = result
     if disk_key is not None:
         result_cache.store(disk_key, result)
+    return result
+
+
+def _trace_frontend_run(
+    workload: str,
+    scheme: str,
+    scale: float,
+    cfg: GPUConfig,
+    oracle,
+    check: bool,
+    issue_observers: list,
+    l1_observers: list,
+    workload_kwargs: dict,
+):
+    """One cell under the trace frontend: replay on a trace hit, else
+    execute-and-record (auto-record on miss).
+
+    Functional verification (``check``) only applies to the recording run —
+    replay computes no lane values, so there is nothing to verify; the
+    parity suite (``tests/test_trace_parity.py``) is the replay-side
+    correctness guarantee.
+    """
+    # Local import: repro.trace pulls in result_cache and the GPU; keeping
+    # it out of module scope avoids an import cycle with repro.gpu.
+    from .. import trace as trace_mod
+
+    kwargs = dict(workload_kwargs) if workload_kwargs else None
+    program = trace_mod.load_program(workload, scale, cfg, kwargs)
+    if program is not None:
+        results = trace_mod.replay_program(
+            program, cfg, scheme=scheme, oracle=oracle,
+            observers=issue_observers, l1_observers=l1_observers,
+        )
+        return results[-1]
+
+    # Trace miss (or stale/corrupt trace): execute once with the recorder
+    # attached.  Any scheme records the same functional streams (they are
+    # schedule-invariant), so recording under the requested scheme yields
+    # this cell's execute-frontend result for free.
+    exec_cfg = cfg.with_frontend("execute")
+    recorder = trace_mod.TraceRecorder(exec_cfg)
+    gpu = GPU(exec_cfg, oracle=oracle)
+    gpu.attach_recorder(recorder)
+    for observer in issue_observers:
+        for sm in gpu.sms:
+            sm.issue_observers.append(observer)
+    for observer in l1_observers:
+        for sm in gpu.sms:
+            sm.l1d.observers.append(observer)
+    wl = make_workload(workload, scale=scale, **workload_kwargs)
+    result = wl.run(gpu, scheme=scheme, check=check)
+    program = recorder.finish(workload=workload, scale=scale, scheme=scheme)
+    trace_mod.store_program(program, workload, scale, cfg, kwargs)
+    result.trace_id = program.trace_id
     return result
 
 
@@ -219,11 +290,14 @@ def sweep_table(
 def clear_cache(disk: bool = False) -> None:
     """Drop memoized results (tests use this for isolation).
 
-    ``disk=True`` also wipes the persistent on-disk cache; by default only
-    the in-process memoization is dropped so a deliberate cache warmup
-    (e.g. from a sweep) survives.
+    ``disk=True`` also wipes the persistent on-disk result cache *and* the
+    trace store; by default only the in-process memoization is dropped so a
+    deliberate cache warmup (e.g. from a sweep) survives.
     """
     _CACHE.clear()
     _ORACLE_CACHE.clear()
     if disk:
         result_cache.clear()
+        from ..trace import store as trace_store
+
+        trace_store.clear()

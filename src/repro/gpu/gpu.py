@@ -15,7 +15,7 @@ from typing import Callable, List, Optional
 from ..config import GPUConfig
 from ..core.cacp import CACPPolicy
 from ..core.cpl import CriticalityPredictor
-from ..errors import DeadlockError, LaunchError
+from ..errors import ConfigError, DeadlockError, LaunchError, TraceMismatchError
 from ..memory.data import GlobalMemory
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.replacement import make_policy
@@ -42,6 +42,7 @@ class GPU:
         config: Optional[GPUConfig] = None,
         oracle: Optional[dict] = None,
         max_cycles: float = 5e7,
+        trace=None,
     ) -> None:
         self.config = config or GPUConfig.default_sim()
         self.memory = GlobalMemory()
@@ -52,7 +53,29 @@ class GPU:
         #: (DRAM/L2 queues, MSHR completions, scoreboards) are absolute, so
         #: a second launch must start where the first one ended.
         self.now: float = 0.0
-        executor = FunctionalExecutor(self.memory, self.config.warp_size)
+        #: Trace-driven frontend state (``config.frontend == "trace"``):
+        #: the loaded :class:`~repro.trace.format.TraceProgram` and the
+        #: index of the next launch to replay from it.
+        self.trace_program = trace
+        self._trace_launch_idx = 0
+        #: Optional :class:`~repro.trace.recorder.TraceRecorder` capturing
+        #: this GPU's issues (see :meth:`attach_recorder`).
+        self._recorder = None
+        if self.config.frontend == "trace":
+            if trace is None:
+                raise ConfigError(
+                    "GPUConfig.frontend='trace' requires a recorded trace: "
+                    "pass GPU(config, trace=TraceProgram.load(path)) or use "
+                    "repro.trace.replay_program()"
+                )
+            # Refuse traces recorded under a different functional config
+            # (warp size / L1 line size) before any simulation happens.
+            trace.validate(self.config.functional_fingerprint())
+            from ..trace.replay import TraceExecutor  # local: import cycle
+
+            executor = TraceExecutor()
+        else:
+            executor = FunctionalExecutor(self.memory, self.config.warp_size)
         self.sms: List[StreamingMultiprocessor] = []
         for sm_id in range(self.config.num_sms):
             cpl = (
@@ -97,6 +120,45 @@ class GPU:
         return make_policy(self.config.l1d_policy)
 
     # ------------------------------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Record every subsequent launch into ``recorder``.
+
+        Recording is passive (the sink only appends to Python lists), so an
+        instrumented run's timing and statistics are identical to a plain
+        execution-driven run.
+        """
+        self._recorder = recorder
+        for sm in self.sms:
+            sm.trace_sink = recorder
+
+    def _next_launch_trace(self, kernel, grid_dim: int, block_dim: int):
+        """Pop and validate the trace for the next replayed launch."""
+        from ..trace.format import kernel_fingerprint
+
+        idx = self._trace_launch_idx
+        launches = self.trace_program.launches
+        if idx >= len(launches):
+            raise TraceMismatchError(
+                f"trace exhausted: launch #{idx} requested but only "
+                f"{len(launches)} launch(es) were recorded"
+            )
+        launch = launches[idx]
+        if (launch.grid_dim, launch.block_dim) != (grid_dim, block_dim):
+            raise TraceMismatchError(
+                f"launch #{idx} geometry mismatch: trace recorded grid="
+                f"{launch.grid_dim} block={launch.block_dim}, run requested "
+                f"grid={grid_dim} block={block_dim}"
+            )
+        if kernel is not launch.kernel and kernel_fingerprint(kernel) != launch.kernel_fp:
+            raise TraceMismatchError(
+                f"launch #{idx} kernel mismatch: the workload's kernel "
+                f"{kernel.name!r} differs from the recorded one "
+                f"({launch.kernel.name!r}); re-record the trace"
+            )
+        self._trace_launch_idx = idx + 1
+        return launch
+
+    # ------------------------------------------------------------------
     def launch(self, kernel, grid_dim: int, block_dim: int, scheme: str = "") -> RunResult:
         """Run ``kernel`` over ``grid_dim`` blocks of ``block_dim`` threads."""
         if grid_dim <= 0 or block_dim <= 0:
@@ -112,6 +174,16 @@ class GPU:
                 f"block needs {kernel.num_regs * block_dim} registers, more "
                 f"than the SM's {self.config.registers_per_sm}"
             )
+
+        if self.config.frontend == "trace":
+            from ..trace.replay import make_warp_factory
+
+            launch_trace = self._next_launch_trace(kernel, grid_dim, block_dim)
+            factory = make_warp_factory(launch_trace)
+            for sm in self.sms:
+                sm.warp_factory = factory
+        if self._recorder is not None:
+            self._recorder.begin_launch(kernel, grid_dim, block_dim)
 
         dispatcher = BlockDispatcher(kernel, grid_dim, block_dim, self.config.warp_size)
         start_cycle = self.now
@@ -184,9 +256,16 @@ class GPU:
         blocks.sort(key=lambda b: b.block_id)
         l1_now = merge_cache_stats([sm.l1d.stats for sm in self.sms])
         l1_before = merge_cache_stats(snap["l1"])
+        trace_id = None
+        if self.trace_program is not None:
+            trace_id = self.trace_program.trace_id
+        elif self._recorder is not None:
+            trace_id = "recording"
         return RunResult(
             kernel_name=kernel_name,
             scheme=scheme or self.config.scheduler_name,
+            frontend=self.config.frontend,
+            trace_id=trace_id,
             cycles=cycles,
             thread_instructions=(
                 sum(sm.stats.thread_instructions for sm in self.sms)

@@ -30,6 +30,9 @@ class ExecResult:
             only lanes in ``mem_mask`` are meaningful).
         mem_mask: lanes that actually access memory (active mask further
             restricted by the instruction's guard predicate).
+        mem_lines: pre-coalesced line addresses, supplied only by the
+            trace-replay frontend (:class:`repro.trace.replay.TraceExecutor`);
+            when set, the LSU skips coalescing and uses them directly.
         is_exit: EXIT reached.
         is_barrier: BAR reached.
     """
@@ -37,6 +40,7 @@ class ExecResult:
     taken_mask: int = 0
     mem_addrs: Optional[np.ndarray] = None
     mem_mask: int = 0
+    mem_lines: Optional[list] = None
     is_exit: bool = False
     is_barrier: bool = False
 

@@ -9,7 +9,7 @@ criticality.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +20,17 @@ from ..memory.mshr import MSHRFile
 from ..memory.request import MemRequest, make_signature
 from ..simt.mask import bools_from_mask
 from ..simt.warp import Warp
+
+
+def coalesce_lines(addrs: np.ndarray, mask: int, line_size: int) -> List[int]:
+    """Distinct line addresses touched by the active lanes, ascending.
+
+    Module-level so the trace recorder (:mod:`repro.trace.recorder`) bakes
+    *exactly* the LSU's coalescing rule into recorded traces.
+    """
+    active = bools_from_mask(mask, addrs.shape[0])
+    lines = np.unique(addrs[active].astype(np.int64) // line_size * line_size)
+    return lines.tolist()
 
 
 class LoadStoreUnit:
@@ -46,31 +57,32 @@ class LoadStoreUnit:
 
     def coalesce(self, addrs: np.ndarray, mask: int) -> List[int]:
         """Distinct line addresses touched by the active lanes, ascending."""
-        line_size = self.l1d.config.line_size
-        active = bools_from_mask(mask, addrs.shape[0])
-        lines = np.unique(addrs[active].astype(np.int64) // line_size * line_size)
-        return lines.tolist()
+        return coalesce_lines(addrs, mask, self.l1d.config.line_size)
 
     def issue(
         self,
         warp: Warp,
         inst: Instruction,
-        addrs: np.ndarray,
+        addrs: Optional[np.ndarray],
         mask: int,
         now: float,
         is_critical: bool,
+        lines: Optional[List[int]] = None,
     ) -> Tuple[float, int]:
         """Perform the timing walk for one warp memory instruction.
 
         Returns ``(completion_cycle, num_line_accesses)``.  Shared-memory
         accesses bypass the cache hierarchy with a short fixed latency.
+        ``lines`` (trace replay) supplies pre-coalesced line addresses and
+        skips the coalescer; execution-driven callers leave it ``None``.
         """
         if mask == 0:
             return now + 1, 0
         if inst.space is MemSpace.SHARED:
             return now + self.shared_latency, 0
 
-        lines = self.coalesce(addrs, mask)
+        if lines is None:
+            lines = self.coalesce(addrs, mask)
         self.global_accesses += 1
         completion = now + 1
         start = max(now, self._next_free)

@@ -91,6 +91,15 @@ class StreamingMultiprocessor:
         self._regs_in_use = 0
         #: Observers notified of issue events (used by Fig 12's priority trace).
         self.issue_observers: List = []
+        #: Warp constructor; the trace-replay frontend swaps in a factory
+        #: building :class:`~repro.trace.replay.TraceWarp` objects that
+        #: follow recorded streams (set per launch by the GPU).
+        self.warp_factory: Callable[..., Warp] = Warp
+        #: Optional trace recorder hook; when set, every issued instruction
+        #: is reported (with its pre-issue active mask and functional
+        #: result) so :class:`~repro.trace.recorder.TraceRecorder` can
+        #: capture the warp's dynamic stream.  Purely observational.
+        self.trace_sink = None
         #: Incrementally maintained count of resident, unfinished warps;
         #: replaces the O(warps) ``any(not w.finished ...)`` scans that
         #: ``busy`` / ``can_accept`` used to perform every cycle.
@@ -133,7 +142,7 @@ class StreamingMultiprocessor:
         self.blocks.append(block)
         self._regs_in_use += block.kernel.num_regs * block.block_dim
         for w in range(block.num_warps):
-            warp = Warp(
+            warp = self.warp_factory(
                 warp_id_in_block=w,
                 block=block,
                 warp_size=self.config.warp_size,
@@ -334,7 +343,11 @@ class StreamingMultiprocessor:
             self.cpl.on_issue(warp, data_stall)
 
         # ---- functional execution -------------------------------------
+        # (Trace replay swaps in a TraceExecutor that answers from the
+        # warp's recorded stream instead of computing lane values.)
         result = self.executor.execute(inst, warp)
+        if self.trace_sink is not None:
+            self.trace_sink.record(warp, inst, active, result)
 
         # ---- timing + control state -----------------------------------
         op = inst.op
@@ -345,7 +358,8 @@ class StreamingMultiprocessor:
             self._mshr_touched = True
             is_critical = self.cpl.is_critical(warp) if self.cpl is not None else False
             completion, _ = self.lsu.issue(
-                warp, inst, result.mem_addrs, result.mem_mask, now, is_critical
+                warp, inst, result.mem_addrs, result.mem_mask, now, is_critical,
+                lines=result.mem_lines,
             )
             if inst.is_load:
                 warp.rf.set_reg_ready(inst.dst, completion, from_load=True)

@@ -133,6 +133,15 @@ class RunResult:
     #: Lanes per warp, used by :attr:`simd_efficiency` (set at collection).
     warp_size: int = 32
 
+    #: Provenance: which simulation frontend produced this result —
+    #: ``"execute"`` (functional execution at issue time) or ``"trace"``
+    #: (trace replay; bit-identical by contract, see docs/trace_driven.md).
+    frontend: str = "execute"
+    #: Trace provenance: the replayed trace's content id, ``"recording"``
+    #: for an execute run that recorded a trace, or ``None`` for a plain
+    #: execution-driven run.
+    trace_id: Optional[str] = None
+
     @property
     def ipc(self) -> float:
         """Thread-level instructions per cycle (the paper's IPC metric)."""
@@ -201,6 +210,8 @@ class RunResult:
             "l2_stats": dataclasses.asdict(self.l2_stats),
             "dram_accesses": self.dram_accesses,
             "warp_size": self.warp_size,
+            "frontend": self.frontend,
+            "trace_id": self.trace_id,
             "blocks": [dataclasses.asdict(b) for b in blocks],
             "extra": {k: v for k, v in self.extra.items() if _jsonable(v)},
         }
@@ -230,4 +241,6 @@ class RunResult:
             dram_accesses=data["dram_accesses"],
             extra=dict(data.get("extra", {})),
             warp_size=data.get("warp_size", 32),
+            frontend=data.get("frontend", "execute"),
+            trace_id=data.get("trace_id"),
         )

@@ -1,0 +1,60 @@
+"""repro.trace — the trace-driven simulation frontend.
+
+Record a workload's functional side once (per-warp dynamic instruction
+streams: PCs, active masks, branch outcomes, coalesced memory lines), then
+replay timing-only sweeps through the unchanged SM pipeline at a fraction
+of the cost — no register files, no lane math, no functional verification.
+
+See ``docs/trace_driven.md`` for the design, file format, invalidation
+keys, and the (narrow) conditions under which replay is *not* valid.
+
+Typical use is implicit — ``run_scheme(..., config=cfg.with_frontend("trace"))``
+auto-records on a trace miss and replays thereafter — but the pieces are
+public::
+
+    from repro.trace import TraceRecorder, TraceProgram, replay_program
+    from repro.trace import record_workload
+
+    result, program = record_workload("bfs", scale=0.5)
+    program.save("bfs.trace")
+    replayed = replay_program(TraceProgram.load("bfs.trace"), scheme="cawa")
+"""
+
+from .format import (
+    TRACE_FORMAT_VERSION,
+    TRACE_MAGIC,
+    LaunchTrace,
+    TraceProgram,
+    kernel_fingerprint,
+)
+from .recorder import TraceRecorder, record_workload
+from .replay import TraceExecutor, TraceStack, TraceWarp, make_warp_factory, replay_program
+from .store import (
+    clear,
+    list_traces,
+    load_program,
+    store_program,
+    trace_dir,
+    trace_path,
+)
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TRACE_MAGIC",
+    "LaunchTrace",
+    "TraceExecutor",
+    "TraceProgram",
+    "TraceRecorder",
+    "TraceStack",
+    "TraceWarp",
+    "clear",
+    "kernel_fingerprint",
+    "list_traces",
+    "load_program",
+    "make_warp_factory",
+    "record_workload",
+    "replay_program",
+    "store_program",
+    "trace_dir",
+    "trace_path",
+]

@@ -1,0 +1,317 @@
+"""Trace file format: versioned, fingerprinted, compressed kernel traces.
+
+A :class:`TraceProgram` is the on-disk unit of the trace-driven frontend
+(see ``docs/trace_driven.md``).  It captures everything the timing model
+needs to replay a workload without functional execution:
+
+* a **header** carrying a magic string, the trace-format version, and the
+  *functional config fingerprint*
+  (:meth:`repro.config.GPUConfig.functional_fingerprint`) that recorded it —
+  both are checked on load so stale or foreign traces are refused instead of
+  silently replayed;
+* one :class:`LaunchTrace` per kernel launch, embedding the full static
+  kernel (so replay never needs to rebuild workload inputs), the launch
+  geometry, a kernel fingerprint, and each warp's dynamic record stream.
+
+Per-warp records are compact lists, one per issued instruction::
+
+    [pc, active_mask]                      # ALU/SFU/CTRL and uncond. branch
+    [pc, active_mask, taken_mask]          # conditional branch outcome
+    [pc, active_mask, [mem_mask, lines]]   # LD/ST: effect mask + coalesced
+                                           # line addresses (None if shared)
+
+The interpretation of the third element is recovered from the static
+instruction at ``pc``, so no per-record tag byte is needed.  Files are
+JSON + zlib: deterministic, dependency-free, and 10-30x smaller than the
+raw JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TraceFormatError, TraceMismatchError
+from ..isa.instructions import CmpOp, Instruction, MemSpace, Opcode, Special
+from ..isa.kernel import Kernel
+
+#: File magic; anything else is not a repro trace.
+TRACE_MAGIC = "repro-trace"
+#: Bump on any incompatible change to the record or header layout.
+TRACE_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Kernel (static instruction stream) serialization
+# ----------------------------------------------------------------------
+def instruction_to_dict(inst: Instruction) -> Dict:
+    """Plain-data form of one static instruction."""
+    return {
+        "op": inst.op.value,
+        "dst": inst.dst,
+        "srcs": list(inst.srcs),
+        "imm": inst.imm,
+        "pred": inst.pred,
+        "pred_neg": inst.pred_neg,
+        "cmp": inst.cmp.value if inst.cmp is not None else None,
+        "space": inst.space.value,
+        "special": inst.special.value if inst.special is not None else None,
+        "pc": inst.pc,
+        "target_pc": inst.target_pc,
+        "reconv_pc": inst.reconv_pc,
+    }
+
+
+def instruction_from_dict(data: Dict) -> Instruction:
+    """Rebuild a static instruction from :func:`instruction_to_dict` form."""
+    return Instruction(
+        op=Opcode(data["op"]),
+        dst=data["dst"],
+        srcs=tuple(data["srcs"]),
+        imm=data["imm"],
+        pred=data["pred"],
+        pred_neg=data["pred_neg"],
+        cmp=CmpOp(data["cmp"]) if data["cmp"] is not None else None,
+        space=MemSpace(data["space"]),
+        special=Special(data["special"]) if data["special"] is not None else None,
+        pc=data["pc"],
+        target_pc=data["target_pc"],
+        reconv_pc=data["reconv_pc"],
+    )
+
+
+def kernel_to_dict(kernel: Kernel) -> Dict:
+    return {
+        "name": kernel.name,
+        "num_regs": kernel.num_regs,
+        "num_preds": kernel.num_preds,
+        "shared_mem_bytes": kernel.shared_mem_bytes,
+        "labels": dict(kernel.labels),
+        "instructions": [instruction_to_dict(i) for i in kernel.instructions],
+    }
+
+
+def kernel_from_dict(data: Dict) -> Kernel:
+    return Kernel(
+        name=data["name"],
+        instructions=[instruction_from_dict(i) for i in data["instructions"]],
+        labels=dict(data["labels"]),
+        num_regs=data["num_regs"],
+        num_preds=data["num_preds"],
+        shared_mem_bytes=data["shared_mem_bytes"],
+    )
+
+
+def kernel_fingerprint(kernel: Kernel) -> str:
+    """Stable short hash of a kernel's static structure.
+
+    Embedded in each :class:`LaunchTrace` and re-checked at replay launch
+    time, so a workload change that alters the generated kernel (different
+    base addresses, loop bounds, ...) refuses to replay a stale trace.
+    """
+    payload = {
+        "name": kernel.name,
+        "num_regs": kernel.num_regs,
+        "num_preds": kernel.num_preds,
+        "shared_mem_bytes": kernel.shared_mem_bytes,
+        "instructions": [instruction_to_dict(i) for i in kernel.instructions],
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Trace containers
+# ----------------------------------------------------------------------
+@dataclass
+class LaunchTrace:
+    """Recorded dynamic streams for one kernel launch.
+
+    ``warps`` maps ``(block_id, warp_id_in_block)`` to that warp's record
+    list (see the module docstring for the record layout).  Record lists are
+    treated as immutable after recording: replay walks them with a cursor
+    and never mutates, so one loaded :class:`TraceProgram` can feed many
+    concurrent replays.
+    """
+
+    kernel: Kernel
+    grid_dim: int
+    block_dim: int
+    kernel_fp: str = ""
+    warps: Dict[Tuple[int, int], List] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kernel_fp:
+            self.kernel_fp = kernel_fingerprint(self.kernel)
+
+    @property
+    def record_count(self) -> int:
+        return sum(len(r) for r in self.warps.values())
+
+    def records_for(self, block_id: int, warp_id_in_block: int) -> List:
+        try:
+            return self.warps[(block_id, warp_id_in_block)]
+        except KeyError:
+            raise TraceMismatchError(
+                f"trace for kernel {self.kernel.name!r} has no stream for "
+                f"warp (block={block_id}, warp={warp_id_in_block}); launch "
+                "geometry differs from the recording"
+            ) from None
+
+    def to_dict(self) -> Dict:
+        return {
+            "kernel": kernel_to_dict(self.kernel),
+            "grid_dim": self.grid_dim,
+            "block_dim": self.block_dim,
+            "kernel_fp": self.kernel_fp,
+            # JSON keys must be strings; flatten to [block, warp, records].
+            "warps": [[b, w, recs] for (b, w), recs in sorted(self.warps.items())],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LaunchTrace":
+        warps = {}
+        for entry in data["warps"]:
+            block_id, warp_id, records = entry
+            if not records:
+                raise TraceFormatError(
+                    f"empty record stream for warp ({block_id}, {warp_id})"
+                )
+            warps[(int(block_id), int(warp_id))] = records
+        return cls(
+            kernel=kernel_from_dict(data["kernel"]),
+            grid_dim=data["grid_dim"],
+            block_dim=data["block_dim"],
+            kernel_fp=data["kernel_fp"],
+            warps=warps,
+        )
+
+
+@dataclass
+class TraceProgram:
+    """A complete recorded run: header + ordered launch traces."""
+
+    functional_fingerprint: str
+    workload: str = ""
+    scale: float = 1.0
+    warp_size: int = 32
+    line_size: int = 128
+    #: Free-form provenance (recording scheme, simulator version, ...).
+    meta: Dict = field(default_factory=dict)
+    launches: List[LaunchTrace] = field(default_factory=list)
+
+    @property
+    def trace_id(self) -> str:
+        """Short content id for provenance stamping of replayed results."""
+        payload = json.dumps(
+            {
+                "fp": self.functional_fingerprint,
+                "workload": self.workload,
+                "scale": self.scale,
+                "kernels": [lt.kernel_fp for lt in self.launches],
+                "records": [lt.record_count for lt in self.launches],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+    @property
+    def record_count(self) -> int:
+        return sum(lt.record_count for lt in self.launches)
+
+    def validate(self, expected_functional_fp: str) -> None:
+        """Refuse a trace recorded under a different functional config."""
+        if self.functional_fingerprint != expected_functional_fp:
+            raise TraceMismatchError(
+                "trace was recorded under functional fingerprint "
+                f"{self.functional_fingerprint} but the current configuration "
+                f"fingerprints to {expected_functional_fp} (warp size or L1 "
+                "line size changed); re-record with `repro trace record`"
+            )
+
+    # ------------------------------------------------------------------
+    # (De)serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        payload = {
+            "magic": TRACE_MAGIC,
+            "format_version": TRACE_FORMAT_VERSION,
+            "functional_fingerprint": self.functional_fingerprint,
+            "workload": self.workload,
+            "scale": self.scale,
+            "warp_size": self.warp_size,
+            "line_size": self.line_size,
+            "meta": self.meta,
+            "launches": [lt.to_dict() for lt in self.launches],
+        }
+        return zlib.compress(json.dumps(payload).encode("utf-8"), level=6)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "TraceProgram":
+        try:
+            raw = zlib.decompress(blob)
+        except zlib.error as exc:
+            raise TraceFormatError(f"trace is not zlib-compressed data: {exc}") from exc
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise TraceFormatError(f"trace payload is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("magic") != TRACE_MAGIC:
+            raise TraceFormatError("missing trace magic; not a repro trace file")
+        version = payload.get("format_version")
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"trace format version {version} is not supported (this build "
+                f"reads version {TRACE_FORMAT_VERSION}); re-record the trace"
+            )
+        try:
+            return cls(
+                functional_fingerprint=payload["functional_fingerprint"],
+                workload=payload.get("workload", ""),
+                scale=payload.get("scale", 1.0),
+                warp_size=payload.get("warp_size", 32),
+                line_size=payload.get("line_size", 128),
+                meta=dict(payload.get("meta", {})),
+                launches=[LaunchTrace.from_dict(d) for d in payload["launches"]],
+            )
+        except TraceFormatError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"malformed trace payload: {exc!r}") from exc
+
+    def save(self, path: os.PathLike) -> None:
+        """Atomically write this trace to ``path`` (temp file + rename)."""
+        directory = os.path.dirname(os.fspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(self.to_bytes())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(
+        cls, path: os.PathLike, expected_functional_fp: Optional[str] = None
+    ) -> "TraceProgram":
+        """Read, version-check, and (optionally) fingerprint-check a trace.
+
+        Raises :class:`~repro.errors.TraceFormatError` for corrupt or
+        incompatible files and :class:`~repro.errors.TraceMismatchError`
+        when ``expected_functional_fp`` is given and does not match.
+        """
+        with open(path, "rb") as handle:
+            program = cls.from_bytes(handle.read())
+        if expected_functional_fp is not None:
+            program.validate(expected_functional_fp)
+        return program

@@ -1,0 +1,180 @@
+"""Replay half of the trace-driven frontend.
+
+Replay feeds recorded per-warp streams through the *unchanged* SM issue
+core, scoreboard, LSU, caches, and DRAM.  Three small adapters make the
+existing timing machinery consume a trace instead of executing lanes:
+
+:class:`TraceStack`
+    Duck-types :class:`~repro.simt.stack.SIMTStack` for the pipeline's
+    consumption: ``pc`` and ``active_mask`` come from the current trace
+    record, and every control-flow mutation (``advance``, ``diverge``,
+    ``kill_lanes``) simply moves the cursor to the next record — the
+    recorded stream already linearizes divergence exactly as the
+    reconvergence stack did at record time.
+
+:class:`TraceWarp`
+    A :class:`~repro.simt.warp.Warp` whose stack is a :class:`TraceStack`.
+    Everything else — scoreboard, scheduling cache, criticality counters,
+    stall accounting — is inherited unchanged, which is what makes replay
+    bit-identical: the timing state machine never notices the frontend swap.
+
+:class:`TraceExecutor`
+    Drop-in for :class:`~repro.simt.executor.FunctionalExecutor` that
+    answers from the current record (branch outcome, memory effect mask and
+    pre-coalesced line addresses) instead of computing lane values.  No
+    register file reads/writes, no numpy lane math, no coalescing — the
+    source of replay's speedup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import GPUConfig
+from ..errors import TraceFormatError
+from ..isa.instructions import Opcode
+from ..simt.executor import ExecResult
+from ..simt.warp import Warp
+from .format import LaunchTrace, TraceProgram
+
+
+class TraceStack:
+    """Trace-cursor stand-in for the SIMT reconvergence stack."""
+
+    __slots__ = ("_records", "_idx")
+
+    def __init__(self, records: List) -> None:
+        if not records:
+            raise TraceFormatError("warp trace has no records")
+        self._records = records
+        self._idx = 0
+
+    # -- state the pipeline reads --------------------------------------
+    @property
+    def pc(self) -> int:
+        return self._records[self._idx][0]
+
+    @property
+    def active_mask(self) -> int:
+        return self._records[self._idx][1]
+
+    @property
+    def aux(self):
+        """Record payload: branch taken-mask or ``[mem_mask, lines]``."""
+        record = self._records[self._idx]
+        return record[2] if len(record) > 2 else None
+
+    @property
+    def empty(self) -> bool:
+        """True once the final (terminal EXIT) record has been consumed."""
+        return self._idx >= len(self._records)
+
+    @property
+    def depth(self) -> int:  # pragma: no cover - debugging parity only
+        return 0 if self.empty else 1
+
+    # -- control-flow mutations: all advance the cursor ----------------
+    def advance(self, next_pc: int) -> None:
+        self._idx += 1
+
+    def diverge(self, taken_pc, fallthrough_pc, taken_mask, reconv_pc) -> None:
+        self._idx += 1
+
+    def kill_lanes(self, mask: int) -> None:
+        self._idx += 1
+
+    def active_lane_count(self) -> int:
+        from ..simt.mask import popcount
+
+        return popcount(self.active_mask)
+
+
+class TraceWarp(Warp):
+    """A warp that follows a recorded dynamic stream instead of executing."""
+
+    def __init__(self, records: List, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.stack = TraceStack(records)
+
+
+class TraceExecutor:
+    """Answers issue-time queries from the warp's current trace record."""
+
+    def execute(self, inst, warp) -> ExecResult:
+        op = inst.op
+        if op is Opcode.LD or op is Opcode.ST:
+            aux = warp.stack.aux
+            if aux is None:
+                raise TraceFormatError(
+                    f"memory record at pc={inst.pc} is missing its address "
+                    "payload; trace is corrupt"
+                )
+            return ExecResult(mem_mask=aux[0], mem_lines=aux[1])
+        if op is Opcode.BRA:
+            if inst.pred is None:
+                return ExecResult(taken_mask=warp.active_mask)
+            taken = warp.stack.aux
+            if taken is None:
+                raise TraceFormatError(
+                    f"branch record at pc={inst.pc} is missing its taken "
+                    "mask; trace is corrupt"
+                )
+            return ExecResult(taken_mask=taken)
+        if op is Opcode.BAR:
+            return ExecResult(is_barrier=True)
+        if op is Opcode.EXIT:
+            return ExecResult(is_exit=True)
+        return ExecResult()
+
+
+def make_warp_factory(launch: LaunchTrace):
+    """Warp factory for one launch: builds :class:`TraceWarp` objects.
+
+    Installed on each SM by :meth:`repro.gpu.GPU.launch` when the trace
+    frontend is active.  Record lists are shared read-only, so one loaded
+    trace can feed many concurrent replays.
+    """
+
+    def factory(*, warp_id_in_block: int, block, **kwargs) -> TraceWarp:
+        records = launch.records_for(block.block_id, warp_id_in_block)
+        return TraceWarp(
+            records, warp_id_in_block=warp_id_in_block, block=block, **kwargs
+        )
+
+    return factory
+
+
+def replay_program(
+    program: TraceProgram,
+    config: Optional[GPUConfig] = None,
+    scheme: str = "",
+    oracle: Optional[dict] = None,
+    max_cycles: float = 5e7,
+    observers: Optional[list] = None,
+    l1_observers: Optional[list] = None,
+):
+    """Replay every launch of ``program``; returns the list of results.
+
+    The kernel and launch geometry come from the trace itself, so replay
+    needs no workload rebuild (and performs no functional verification —
+    there are no computed values to verify).  ``observers`` join each SM's
+    ``issue_observers``; ``l1_observers`` join each L1D's observer list.
+    """
+    from ..gpu import GPU  # local: avoid a gpu <-> trace import cycle
+
+    cfg = config or GPUConfig.default_sim()
+    if cfg.frontend != "trace":
+        cfg = cfg.with_frontend("trace")
+    gpu = GPU(cfg, oracle=oracle, max_cycles=max_cycles, trace=program)
+    for observer in observers or ():
+        for sm in gpu.sms:
+            sm.issue_observers.append(observer)
+    for observer in l1_observers or ():
+        for sm in gpu.sms:
+            sm.l1d.observers.append(observer)
+    results = []
+    for launch in program.launches:
+        results.append(
+            gpu.launch(launch.kernel, launch.grid_dim, launch.block_dim, scheme=scheme)
+        )
+    return results

@@ -1,0 +1,338 @@
+"""The trace-driven frontend: record/replay round trips, the persistent
+trace store, and its staleness guards.
+
+The bit-identical parity contract (execute vs trace frontend over the full
+workload x scheme grid) lives in ``tests/test_trace_parity.py``; this file
+covers the subsystem's plumbing — format versioning, compression,
+fingerprint/geometry/kernel mismatch errors, corruption recovery, the
+runner's auto-record-on-miss path, and result provenance serialization.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro import trace as trace_mod
+from repro.config import GPUConfig
+from repro.errors import ConfigError, TraceFormatError, TraceMismatchError
+from repro.experiments import runner
+from repro.stats.counters import RunResult
+from repro.trace.format import (
+    TRACE_FORMAT_VERSION,
+    TRACE_MAGIC,
+    TraceProgram,
+    kernel_fingerprint,
+)
+
+SCALE = 0.25
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Trace tests must not inherit memoized results from other files."""
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+def _record(workload="bfs", scale=SCALE, config=None, **kwargs):
+    config = config or GPUConfig.default_sim()
+    return trace_mod.record_workload(workload, scale=scale, config=config, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Record -> replay round trip (in memory)
+# ----------------------------------------------------------------------
+class TestRecordReplay:
+    def test_replay_matches_recording_run(self, config):
+        result, program = _record(config=config)
+        replayed = trace_mod.replay_program(program, config, scheme="rr")
+        assert len(replayed) == 1
+        rep = replayed[0]
+        assert rep.cycles == result.cycles
+        assert rep.warp_instructions == result.warp_instructions
+        assert rep.thread_instructions == result.thread_instructions
+        assert rep.l1_stats.accesses == result.l1_stats.accesses
+        assert rep.l1_stats.misses == result.l1_stats.misses
+        assert rep.dram_accesses == result.dram_accesses
+
+    def test_provenance_fields(self, config):
+        result, program = _record(config=config)
+        assert result.frontend == "execute"
+        assert result.trace_id == program.trace_id
+        rep = trace_mod.replay_program(program, config)[0]
+        assert rep.frontend == "trace"
+        assert rep.trace_id == program.trace_id
+
+    def test_trace_id_is_content_addressed(self, config):
+        _, a = _record(config=config)
+        _, b = _record(config=config)
+        assert a.trace_id == b.trace_id
+
+    def test_record_count_positive(self, config):
+        _, program = _record(config=config)
+        assert program.record_count > 0
+        assert len(program.launches) >= 1
+
+    def test_recording_is_scheme_invariant(self, config):
+        """Streams recorded under gto replay to the same cycles as rr's."""
+        _, prog_rr = _record(config=config, scheme="rr")
+        _, prog_gto = _record(config=config, scheme="gto")
+        assert prog_rr.trace_id == prog_gto.trace_id
+
+
+# ----------------------------------------------------------------------
+# Serialization: bytes round trip, versioning, corruption
+# ----------------------------------------------------------------------
+class TestFormat:
+    def test_bytes_round_trip(self, config):
+        _, program = _record(config=config)
+        blob = program.to_bytes()
+        loaded = TraceProgram.from_bytes(blob)
+        assert loaded.trace_id == program.trace_id
+        assert loaded.functional_fingerprint == program.functional_fingerprint
+        assert loaded.record_count == program.record_count
+        rep = trace_mod.replay_program(loaded, config)[0]
+        exec_result = runner.run_scheme(
+            "bfs", "rr", scale=SCALE, config=config,
+            use_cache=False, persistent=False,
+        )
+        assert rep.cycles == exec_result.cycles
+
+    def test_blob_is_compressed_json(self, config):
+        _, program = _record(config=config)
+        blob = program.to_bytes()
+        header = json.loads(zlib.decompress(blob).decode("utf-8"))
+        assert header["magic"] == TRACE_MAGIC
+        assert header["format_version"] == TRACE_FORMAT_VERSION
+        assert len(blob) < len(zlib.decompress(blob))
+
+    def test_version_bump_rejected(self, config):
+        _, program = _record(config=config)
+        payload = json.loads(zlib.decompress(program.to_bytes()).decode("utf-8"))
+        payload["format_version"] = TRACE_FORMAT_VERSION + 1
+        blob = zlib.compress(json.dumps(payload).encode("utf-8"))
+        with pytest.raises(TraceFormatError, match="version"):
+            TraceProgram.from_bytes(blob)
+
+    def test_bad_magic_rejected(self):
+        blob = zlib.compress(
+            json.dumps({"magic": "nope", "format_version": 1}).encode()
+        )
+        with pytest.raises(TraceFormatError):
+            TraceProgram.from_bytes(blob)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceProgram.from_bytes(b"not a zlib stream at all")
+
+    def test_kernel_fingerprint_stability(self, config):
+        _, program = _record(config=config)
+        launch = program.launches[0]
+        assert launch.kernel_fp == kernel_fingerprint(launch.kernel)
+        loaded = TraceProgram.from_bytes(program.to_bytes())
+        assert loaded.launches[0].kernel_fp == launch.kernel_fp
+
+
+# ----------------------------------------------------------------------
+# Persistent trace store
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_save_load_round_trip(self, tmp_path, config):
+        _, program = _record(config=config)
+        path = trace_mod.store_program(program, "bfs", SCALE, config)
+        assert path is not None and path.exists()
+        loaded = trace_mod.load_program("bfs", SCALE, config)
+        assert loaded is not None
+        assert loaded.trace_id == program.trace_id
+
+    def test_miss_returns_none(self, config):
+        assert trace_mod.load_program("bfs", SCALE, config) is None
+
+    def test_strict_miss_raises(self, config):
+        with pytest.raises(TraceMismatchError, match="trace record"):
+            trace_mod.load_program("bfs", SCALE, config, strict=True)
+
+    def test_corrupt_file_evicted(self, config):
+        _, program = _record(config=config)
+        path = trace_mod.store_program(program, "bfs", SCALE, config)
+        path.write_bytes(path.read_bytes()[:32])
+        assert trace_mod.load_program("bfs", SCALE, config) is None
+        assert not path.exists(), "corrupt trace must be unlinked"
+
+    def test_timing_knobs_share_one_trace(self, config):
+        """The store key uses the functional fingerprint only: scheduler
+        and cache-size changes must map to the same trace file."""
+        import dataclasses
+
+        from repro.core.cawa import apply_scheme
+
+        cawa_cfg = apply_scheme(config, "cawa")
+        small_l1 = dataclasses.replace(
+            config, l1d=dataclasses.replace(config.l1d, ways=2)
+        )
+        assert (
+            trace_mod.trace_path("bfs", SCALE, config)
+            == trace_mod.trace_path("bfs", SCALE, cawa_cfg)
+            == trace_mod.trace_path("bfs", SCALE, small_l1)
+        )
+
+    def test_functional_knobs_split_traces(self, config):
+        import dataclasses
+
+        other = dataclasses.replace(
+            config,
+            l1d=dataclasses.replace(config.l1d, line_size=config.l1d.line_size * 2),
+        )
+        assert (
+            trace_mod.trace_path("bfs", SCALE, config)
+            != trace_mod.trace_path("bfs", SCALE, other)
+        )
+
+    def test_list_and_clear(self, config):
+        _, program = _record(config=config)
+        trace_mod.store_program(program, "bfs", SCALE, config)
+        entries = trace_mod.list_traces()
+        assert len(entries) == 1
+        path, loaded = entries[0]
+        assert loaded.workload == "bfs"
+        assert trace_mod.clear() == 1
+        assert trace_mod.list_traces() == []
+
+
+# ----------------------------------------------------------------------
+# Staleness guards at replay time
+# ----------------------------------------------------------------------
+class TestGuards:
+    def test_fingerprint_mismatch(self, config):
+        _, program = _record(config=config)
+        program.functional_fingerprint = "0" * 16
+        with pytest.raises(TraceMismatchError, match="fingerprint"):
+            trace_mod.replay_program(program, config)
+
+    def test_trace_frontend_requires_trace(self, config):
+        from repro import GPU
+
+        with pytest.raises(ConfigError, match="trace"):
+            GPU(config.with_frontend("trace"))
+
+    def test_invalid_frontend_name(self, config):
+        with pytest.raises(ConfigError):
+            config.with_frontend("hybrid")
+
+    def test_trace_exhausted(self, config):
+        from repro import GPU
+
+        _, program = _record(config=config)
+        gpu = GPU(config.with_frontend("trace"), trace=program)
+        launch = program.launches[0]
+        gpu.launch(launch.kernel, launch.grid_dim, launch.block_dim)
+        with pytest.raises(TraceMismatchError, match="exhausted"):
+            gpu.launch(launch.kernel, launch.grid_dim, launch.block_dim)
+
+    def test_geometry_mismatch(self, config):
+        from repro import GPU
+
+        _, program = _record(config=config)
+        gpu = GPU(config.with_frontend("trace"), trace=program)
+        launch = program.launches[0]
+        with pytest.raises(TraceMismatchError, match="geometry"):
+            gpu.launch(launch.kernel, launch.grid_dim + 1, launch.block_dim)
+
+    def test_kernel_mismatch(self, config):
+        from repro import GPU
+        from tests.conftest import build_copy_kernel
+
+        _, program = _record(config=config)
+        launch = program.launches[0]
+        gpu = GPU(config.with_frontend("trace"), trace=program)
+        other = build_copy_kernel(8, 0, 4096)
+        with pytest.raises(TraceMismatchError, match="kernel"):
+            gpu.launch(other, launch.grid_dim, launch.block_dim)
+
+
+# ----------------------------------------------------------------------
+# Runner integration: auto-record on miss, replay on hit
+# ----------------------------------------------------------------------
+class TestRunnerIntegration:
+    def test_miss_records_then_hit_replays(self, config):
+        tcfg = config.with_frontend("trace")
+        first = runner.run_scheme("bfs", "rr", scale=SCALE, config=tcfg,
+                                  use_cache=False, persistent=False)
+        assert first.frontend == "execute"
+        assert first.trace_id not in (None, "recording")
+        second = runner.run_scheme("bfs", "gto", scale=SCALE, config=tcfg,
+                                   use_cache=False, persistent=False)
+        assert second.frontend == "trace"
+        assert second.trace_id == first.trace_id
+
+    def test_replay_matches_execute_frontend(self, config):
+        tcfg = config.with_frontend("trace")
+        runner.run_scheme("bfs", "rr", scale=SCALE, config=tcfg,
+                          use_cache=False, persistent=False)  # record
+        rep = runner.run_scheme("bfs", "cawa", scale=SCALE, config=tcfg,
+                                use_cache=False, persistent=False)
+        ex = runner.run_scheme("bfs", "cawa", scale=SCALE, config=config,
+                               use_cache=False, persistent=False)
+        assert rep.frontend == "trace" and ex.frontend == "execute"
+        assert rep.cycles == ex.cycles
+        assert rep.l1_stats.misses == ex.l1_stats.misses
+        assert rep.dram_accesses == ex.dram_accesses
+
+    def test_result_cache_shared_across_frontends(self, config):
+        """fingerprint() excludes the frontend, so a trace-frontend result
+        satisfies a later execute-frontend request from the disk cache."""
+        tcfg = config.with_frontend("trace")
+        first = runner.run_scheme("bfs", "gto", scale=SCALE, config=tcfg)
+        runner.clear_cache()  # drop memoization, keep the disk cache
+        second = runner.run_scheme("bfs", "gto", scale=SCALE, config=config)
+        assert second.cycles == first.cycles
+        assert second.trace_id == first.trace_id
+
+    def test_accuracy_observer_rides_replay(self, config):
+        tcfg = config.with_frontend("trace")
+        runner.run_scheme("bfs", "rr", scale=SCALE, config=tcfg,
+                          use_cache=False, persistent=False)  # record
+        rep = runner.run_scheme("bfs", "cawa", scale=SCALE, config=tcfg,
+                                with_accuracy=True,
+                                use_cache=False, persistent=False)
+        assert rep.frontend == "trace"
+        assert "cpl_accuracy" in rep.extra
+
+    def test_clear_cache_disk_wipes_traces(self, config):
+        tcfg = config.with_frontend("trace")
+        runner.run_scheme("bfs", "rr", scale=SCALE, config=tcfg,
+                          use_cache=False, persistent=False)
+        assert trace_mod.list_traces()
+        runner.clear_cache(disk=True)
+        assert trace_mod.list_traces() == []
+
+
+# ----------------------------------------------------------------------
+# Satellite: RunResult serialization carries provenance
+# ----------------------------------------------------------------------
+class TestResultProvenance:
+    def test_dict_round_trip(self, config):
+        _, program = _record(config=config)
+        rep = trace_mod.replay_program(program, config)[0]
+        data = rep.to_dict()
+        assert data["frontend"] == "trace"
+        assert data["trace_id"] == program.trace_id
+        back = RunResult.from_dict(data)
+        assert back.frontend == "trace"
+        assert back.trace_id == program.trace_id
+        assert back.cycles == rep.cycles
+
+    def test_legacy_dict_defaults(self):
+        """PR-1 cache entries (no frontend/trace_id keys) still load."""
+        _, program = _record()
+        rep = trace_mod.replay_program(program, GPUConfig.default_sim())[0]
+        data = rep.to_dict()
+        del data["frontend"]
+        del data["trace_id"]
+        back = RunResult.from_dict(data)
+        assert back.frontend == "execute"
+        assert back.trace_id is None
