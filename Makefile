@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all test-slow bench profile sweep clean-cache
+.PHONY: test test-all test-slow lint bench profile sweep clean-cache
 
 ## Tier-1 suite: fast correctness tests (excludes `slow`-marked suites).
 test:
@@ -17,6 +17,17 @@ test-all:
 ## Only the slow suites (full parity grid etc.).
 test-slow:
 	$(PYTEST) -q -m slow
+
+## Static analysis: lint every registry kernel (docs/static_analysis.md),
+## then ruff / strict mypy over the analysis package when installed.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint --all
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src/repro/analysis; \
+	else echo "ruff not installed; skipping"; fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --strict src/repro/analysis; \
+	else echo "mypy not installed; skipping"; fi
 
 ## Paper-reproduction benchmarks + perf smoke (pytest-benchmark).
 bench:

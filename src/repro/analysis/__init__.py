@@ -1,0 +1,69 @@
+"""repro.analysis — static analysis of finalized kernels.
+
+A correctness layer over :mod:`repro.isa` programs.  CAWA's criticality
+predictor (paper Section 3.1, Algorithm 2) infers remaining path length
+purely from static PCs — branch target and reconvergence point — so the
+whole scheme silently depends on structural invariants of the PTX-like
+kernels.  This package checks those invariants *at build/lint time* instead
+of letting them surface as obscure SIMT-stack corruption deep inside a
+simulation:
+
+:mod:`repro.analysis.cfg`
+    Basic-block control-flow graph construction from BRA/RECONV/BAR/EXIT,
+    with dominators, reachability, and reconvergence-region computation.
+
+:mod:`repro.analysis.dataflow`
+    Forward def-before-use analysis for registers and predicates, backward
+    liveness (dead-write detection), block-uniformity (divergence)
+    analysis, and an affine abstract interpretation of address arithmetic.
+
+:mod:`repro.analysis.lints`
+    A rule registry with stable IDs and severities: unreachable blocks,
+    ill-nested reconvergence, barrier-divergence hazards, infinite-loop
+    candidates, coalescing-hostile strides, out-of-bounds constant
+    addressing, and CPL path-size consistency.
+
+:mod:`repro.analysis.pathlen`
+    Static min/max remaining-instruction bounds per PC (interval analysis
+    over the CFG), exported both as a lint and as the
+    ``GPUConfig.check_cpl_bounds`` runtime debug mode that asserts the
+    dynamic CPL ``nInst`` term never escapes the static envelope.
+
+See ``docs/static_analysis.md`` for the rule catalogue and suppression
+syntax.
+"""
+
+from .cfg import CFG, BasicBlock, BranchSite, build_cfg, pc_successors
+from .dataflow import DataflowResult, analyze_dataflow
+from .lints import (
+    Finding,
+    LintReport,
+    LintRule,
+    RULES,
+    Severity,
+    lint_kernel,
+)
+from .pathlen import (
+    CheckedCriticalityPredictor,
+    PathBounds,
+    compute_path_bounds,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BranchSite",
+    "CFG",
+    "CheckedCriticalityPredictor",
+    "DataflowResult",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "PathBounds",
+    "RULES",
+    "Severity",
+    "analyze_dataflow",
+    "build_cfg",
+    "compute_path_bounds",
+    "lint_kernel",
+    "pc_successors",
+]

@@ -7,6 +7,8 @@ Usage (``python -m repro <command>``)::
     python -m repro sweep --workloads bfs,kmeans --schemes rr,gto,cawa
     python -m repro figure 9
     python -m repro tables
+    python -m repro lint --all
+    python -m repro lint --workload bfs --format json
     python -m repro trace record --workload bfs
     python -m repro trace replay --workload bfs --scheme cawa
     python -m repro trace info
@@ -119,6 +121,44 @@ def cmd_profile(args) -> int:
         sort=args.sort, top=args.top,
     )
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Statically analyze workload kernels (``repro lint``)."""
+    import json
+
+    from .analysis import lint_kernel
+    from .gpu import GPU
+    from .workloads import make_workload
+
+    config = _base_config(args)
+    names = (
+        workload_names(include_synthetic=True) if args.all else [args.workload]
+    )
+    reports = []
+    for name in names:
+        # Building the workload (not simulating it) materializes its kernel.
+        gpu = GPU(config)
+        spec = make_workload(name, scale=args.scale).build(gpu)
+        reports.append(
+            lint_kernel(
+                spec.kernel,
+                warp_size=config.warp_size,
+                line_size=config.l1d.line_size,
+            )
+        )
+    ok = all(r.ok for r in reports)
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format_text())
+        failed = [r.kernel for r in reports if not r.ok]
+        print(
+            f"\nlinted {len(reports)} kernel(s): "
+            + ("all clean" if ok else f"FAILED: {', '.join(failed)}")
+        )
+    return 0 if ok else 1
 
 
 def cmd_trace(args) -> int:
@@ -258,6 +298,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--repeats", type=int, default=3,
                         help="best-of-N repeats for --compare")
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically analyze workload kernels (CFG, dataflow, CPL "
+        "path-length bounds); see docs/static_analysis.md",
+    )
+    lint_target = p_lint.add_mutually_exclusive_group(required=True)
+    lint_target.add_argument("--workload",
+                             choices=workload_names(include_synthetic=True))
+    lint_target.add_argument("--all", action="store_true",
+                             help="lint every registered workload kernel")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument("--scale", type=float, default=1.0)
+    p_lint.add_argument("--fermi", action="store_true")
+
     p_trace = sub.add_parser(
         "trace",
         help="record, replay, or inspect trace-driven simulation traces",
@@ -305,6 +359,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": cmd_profile,
         "figure": cmd_figure,
         "tables": cmd_tables,
+        "lint": cmd_lint,
         "trace": cmd_trace,
     }
     return handlers[args.command](args)

@@ -142,6 +142,14 @@ class GPUConfig:
     #: and therefore shares result-cache entries with the execute frontend.
     #: See ``docs/trace_driven.md``.
     frontend: str = "execute"
+    #: Debug mode: install :class:`repro.analysis.CheckedCriticalityPredictor`
+    #: in place of the plain CPL predictor, asserting at every resolved
+    #: branch that the dynamic Algorithm-2 ``nInst`` delta lies inside the
+    #: static path-length envelope of :mod:`repro.analysis.pathlen` (raises
+    #: :class:`repro.errors.CPLBoundsError` on violation).  Purely
+    #: observational — scheduling stays bit-identical — and therefore, like
+    #: ``issue_core``/``frontend``, excluded from :meth:`fingerprint`.
+    check_cpl_bounds: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0:
@@ -238,6 +246,7 @@ class GPUConfig:
         payload = dataclasses.asdict(self)
         payload.pop("issue_core", None)
         payload.pop("frontend", None)
+        payload.pop("check_cpl_bounds", None)
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 

@@ -17,6 +17,18 @@ class SimulationError(ReproError):
     """Raised when the simulator reaches an inconsistent state."""
 
 
+class LintError(ReproError):
+    """Raised when a kernel is finalized with ``lint="error"`` and the
+    static analyzer (:mod:`repro.analysis`) reports an unwaived
+    ERROR-severity finding."""
+
+
+class CPLBoundsError(SimulationError):
+    """Raised in ``GPUConfig.check_cpl_bounds`` debug mode when the dynamic
+    CPL ``nInst`` accounting escapes the static path-length envelope
+    computed by :mod:`repro.analysis.pathlen`."""
+
+
 class ConfigError(ReproError):
     """Raised for invalid simulator configurations."""
 

@@ -77,9 +77,17 @@ class GPU:
         else:
             executor = FunctionalExecutor(self.memory, self.config.warp_size)
         self.sms: List[StreamingMultiprocessor] = []
+        if self.config.use_cpl and self.config.check_cpl_bounds:
+            # Debug mode: CPL predictor that cross-checks every dynamic
+            # Algorithm-2 delta against the static path-length envelope.
+            from ..analysis.pathlen import (  # local: analysis imports core
+                CheckedCriticalityPredictor as _PredictorCls,
+            )
+        else:
+            _PredictorCls = CriticalityPredictor
         for sm_id in range(self.config.num_sms):
             cpl = (
-                CriticalityPredictor(self.config.cpl_update_period)
+                _PredictorCls(self.config.cpl_update_period)
                 if self.config.use_cpl
                 else None
             )

@@ -11,7 +11,7 @@ edges are unconditional, so divergence bookkeeping stays simple and exact.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field as dataclass_field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import KernelBuildError
@@ -46,6 +46,8 @@ class Kernel:
         num_regs: general registers per thread.
         num_preds: predicate registers per thread.
         shared_mem_bytes: per-block shared memory footprint.
+        lint_waivers: lint rule IDs acknowledged for this kernel, mapped to
+            the waiver reason (see :mod:`repro.analysis.lints`).
     """
 
     name: str
@@ -54,6 +56,7 @@ class Kernel:
     num_regs: int
     num_preds: int
     shared_mem_bytes: int = 0
+    lint_waivers: Dict[str, str] = dataclass_field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -61,17 +64,101 @@ class Kernel:
     def __getitem__(self, pc: int) -> Instruction:
         return self.instructions[pc]
 
+    # ------------------------------------------------------------------
+    # Listing / source quoting
+    # ------------------------------------------------------------------
+    def _label_for(self, pc: int) -> str:
+        for label, label_pc in self.labels.items():
+            if label_pc == pc:
+                return label
+        return f"pc {pc}"
+
+    def format_instruction(self, inst: Instruction) -> str:
+        """Render one instruction unambiguously.
+
+        Unlike ``repr(inst)``, the rendering shows predicate negation
+        (``@!p0``), the comparison operator of SETP (``setp.lt``), the
+        memory space of LD/ST (``ld.shared``), and the reconvergence point
+        of conditional branches (``reconv=<label>``).
+        """
+        guard = ""
+        if inst.pred is not None and inst.op is not Opcode.SELP:
+            guard = f"@{'!' if inst.pred_neg else ''}p{inst.pred} "
+        op = inst.op
+        if op is Opcode.BRA:
+            target = (
+                self._label_for(inst.target_pc)
+                if inst.target_pc >= 0
+                else repr(inst.target)
+            )
+            text = f"bra {target}"
+            if inst.pred is not None:
+                reconv = (
+                    self._label_for(inst.reconv_pc)
+                    if inst.reconv_pc >= 0
+                    else "?"
+                )
+                text += f", reconv={reconv}"
+        elif op is Opcode.SETP:
+            cmp_name = inst.cmp.value if inst.cmp is not None else "?"
+            operands = [f"p{inst.dst}"] + [f"r{s}" for s in inst.srcs]
+            if inst.imm is not None:
+                operands.append(_fmt_imm(inst.imm))
+            text = f"setp.{cmp_name} " + ", ".join(operands)
+        elif op is Opcode.SELP:
+            operands = [f"r{inst.dst}"] + [f"r{s}" for s in inst.srcs]
+            if inst.imm is not None:
+                operands.append(_fmt_imm(inst.imm))
+            operands.append(f"p{inst.pred}")
+            text = "selp " + ", ".join(operands)
+        elif op is Opcode.SREG:
+            special = inst.special.value if inst.special is not None else "?"
+            text = f"sreg r{inst.dst}, {special}"
+        elif op in (Opcode.LD, Opcode.ST):
+            suffix = "" if inst.space is MemSpace.GLOBAL else f".{inst.space.value}"
+            offset = int(inst.imm or 0)
+            sign = "+" if offset >= 0 else "-"
+            addr = f"[r{inst.srcs[0]} {sign} {abs(offset)}]"
+            if op is Opcode.LD:
+                text = f"ld{suffix} r{inst.dst}, {addr}"
+            else:
+                text = f"st{suffix} {addr}, r{inst.srcs[1]}"
+        else:
+            operands = []
+            if inst.dst is not None:
+                operands.append(f"r{inst.dst}")
+            operands.extend(f"r{s}" for s in inst.srcs)
+            if inst.imm is not None:
+                operands.append(_fmt_imm(inst.imm))
+            text = op.value + (" " + ", ".join(operands) if operands else "")
+        return guard + text
+
+    def source_line(self, pc: int) -> str:
+        """The disassembly line for ``pc`` (used by lint findings)."""
+        return f"[{pc}] {self.format_instruction(self.instructions[pc])}"
+
     def disassemble(self) -> str:
-        """Human-readable listing of the whole kernel."""
+        """Human-readable listing of the whole kernel.
+
+        Every line round-trips the information the SIMT pipeline consumes:
+        guard predicates with negation, SETP comparison operators, LD/ST
+        memory spaces, and branch targets with their reconvergence labels.
+        """
         pc_labels: Dict[int, List[str]] = {}
         for label, pc in self.labels.items():
             pc_labels.setdefault(pc, []).append(label)
         lines = []
         for inst in self.instructions:
-            for label in pc_labels.get(inst.pc, ()):
+            for label in sorted(pc_labels.get(inst.pc, ())):
                 lines.append(f"{label}:")
-            lines.append(f"  {inst!r}")
+            lines.append(f"  {inst.pc:3d}:  {self.format_instruction(inst)}")
         return "\n".join(lines)
+
+
+def _fmt_imm(value: float) -> str:
+    if value == int(value):
+        return f"#{int(value)}"
+    return f"#{value!r}"
 
 
 class _IfFrame:
@@ -146,6 +233,7 @@ class KernelBuilder:
         self._next_pred = 0
         self._next_label = 0
         self._open_frames: List[object] = []
+        self._lint_waivers: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Resource allocation
@@ -545,8 +633,25 @@ class KernelBuilder:
     # ------------------------------------------------------------------
     # Finalization
     # ------------------------------------------------------------------
-    def build(self) -> Kernel:
-        """Finalize: append EXIT, resolve labels, validate, freeze."""
+    def waive_lint(self, rule_id: str, reason: str = "") -> None:
+        """Acknowledge lint rule ``rule_id`` for this kernel.
+
+        Findings of a waived rule are still reported (marked suppressed)
+        but never fail a ``build(lint="error")`` or the ``repro lint`` CLI.
+        See ``docs/static_analysis.md`` for the rule catalogue.
+        """
+        self._lint_waivers[rule_id] = reason
+
+    def build(self, lint: str = "none") -> Kernel:
+        """Finalize: append EXIT, resolve labels, validate, freeze.
+
+        Args:
+            lint: run the static analyzer (:mod:`repro.analysis`) over the
+                finalized kernel: ``"none"`` (default) skips it, ``"warn"``
+                prints findings to stderr, ``"error"`` additionally raises
+                :class:`~repro.errors.LintError` on any unwaived
+                ERROR-severity finding.
+        """
         from .program import validate_kernel  # local import to avoid a cycle
 
         if self._open_frames:
@@ -586,6 +691,31 @@ class KernelBuilder:
             num_regs=max(self._next_reg, 1),
             num_preds=max(self._next_pred, 1),
             shared_mem_bytes=self.shared_mem_bytes,
+            lint_waivers=dict(self._lint_waivers),
         )
         validate_kernel(kernel)
+        if lint not in ("none", "warn", "error"):
+            raise KernelBuildError(
+                f"build(lint=...) must be 'none', 'warn', or 'error', "
+                f"got {lint!r}"
+            )
+        if lint != "none":
+            import sys
+
+            from ..analysis import lint_kernel  # deferred: heavy subsystem
+            from ..errors import LintError
+
+            report = lint_kernel(kernel)
+            if report.findings:
+                print(report.format_text(), file=sys.stderr)
+            if lint == "error" and not report.ok:
+                raise LintError(
+                    f"kernel {kernel.name!r} failed lint with "
+                    f"{len(report.errors)} error(s); see stderr for the "
+                    "findings or run `repro lint`"
+                )
         return kernel
+
+    def finalize(self, lint: str = "none") -> Kernel:
+        """Alias for :meth:`build` (mirrors the paper-repo terminology)."""
+        return self.build(lint=lint)

@@ -20,7 +20,15 @@ def validate_kernel(kernel) -> None:
       * conditional branches carry a reconvergence point that is a RECONV
         instruction located at or after the branch target (forward branch);
       * unconditional branches carry no reconvergence point;
-      * SETP instructions have a comparison operator.
+      * SETP instructions have a comparison operator;
+      * divergence regions are properly nested: a branch inside another
+        branch's region must reconverge at or before the outer region's
+        reconvergence point (the SIMT stack pops innermost-first);
+      * nested branches do not share a reconvergence PC (only sibling
+        loop breaks, whose target *is* their reconvergence point, may);
+      * every if-style branch dominates its reconvergence point, so the
+        SIMT stack entry pushed at the branch is always popped (loop
+        breaks are exempt: the loop *header* dominates the loop exit).
 
     Raises:
         KernelValidationError: when any invariant is violated.
@@ -90,4 +98,47 @@ def validate_kernel(kernel) -> None:
                 raise KernelValidationError(
                     f"kernel {kernel.name!r}: pc={inst.pc} reads "
                     f"out-of-range register {src}"
+                )
+
+    # ---- structural nesting of divergence regions --------------------
+    sites = [i for i in insts if i.op is Opcode.BRA and i.pred is not None]
+    for outer in sites:
+        for inner in sites:
+            if not outer.pc < inner.pc < outer.reconv_pc:
+                continue
+            if inner.reconv_pc > outer.reconv_pc:
+                raise KernelValidationError(
+                    f"kernel {kernel.name!r}: branch at pc={inner.pc} "
+                    f"reconverges at {inner.reconv_pc}, outside the region "
+                    f"of the enclosing branch at pc={outer.pc} (which "
+                    f"reconverges at {outer.reconv_pc}); divergence "
+                    "regions must nest"
+                )
+            if (
+                inner.reconv_pc == outer.reconv_pc
+                and inner.target_pc != inner.reconv_pc
+            ):
+                raise KernelValidationError(
+                    f"kernel {kernel.name!r}: nested branches at pc="
+                    f"{outer.pc} and pc={inner.pc} share reconvergence pc "
+                    f"{inner.reconv_pc}; only sibling loop breaks (branch "
+                    "target == reconvergence point) may share one"
+                )
+
+    # ---- reconvergence dominance (CFG-based) -------------------------
+    if sites:
+        # Deferred import: repro.analysis depends on repro.isa, so the CFG
+        # machinery must only be pulled in at validation (call) time.
+        from ..analysis.cfg import CFG
+
+        cfg = CFG(kernel)
+        for site in cfg.branches:
+            if site.is_loop_break:
+                continue
+            if not cfg.pc_dominates(site.pc, site.reconv_pc):
+                raise KernelValidationError(
+                    f"kernel {kernel.name!r}: reconvergence pc "
+                    f"{site.reconv_pc} of the branch at pc={site.pc} is "
+                    "reachable without executing the branch; the SIMT "
+                    "stack entry pushed there may never be popped"
                 )

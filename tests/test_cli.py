@@ -70,3 +70,39 @@ class TestCommands:
         assert main(["tables"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "Table 2" in out
+
+
+class TestLintCommand:
+    def test_requires_workload_or_all(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint"])
+
+    def test_workload_and_all_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--workload", "bfs", "--all"])
+
+    def test_lint_single_workload(self, capsys):
+        assert main(["lint", "--workload", "synthetic_divergence"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic_divergence" in out
+        assert "clean" in out
+
+    def test_lint_waived_workload_stays_green(self, capsys):
+        # tpacf carries a MEM001 waiver (intended AoS stride): the waived
+        # finding is shown but the exit code stays 0.
+        assert main(["lint", "--workload", "tpacf", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "(waived)" in out
+        assert "MEM001" in out
+
+    def test_lint_json_format(self, capsys):
+        import json
+
+        code = main([
+            "lint", "--workload", "synthetic_imbalance", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        assert payload[0]["kernel"]
+        assert payload[0]["ok"] is True

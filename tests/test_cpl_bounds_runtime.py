@@ -1,0 +1,107 @@
+"""Runtime CPL-bounds checking (``GPUConfig.check_cpl_bounds``).
+
+With the flag on, every SM's predictor is a
+:class:`~repro.analysis.pathlen.CheckedCriticalityPredictor`: each dynamic
+Algorithm-2 branch delta must lie inside the static path-length envelope and
+the ``nInst`` disparity counter must stay non-negative.  These tests run
+real workloads end-to-end under the flag — if CPL accounting ever drifts
+from what the CFG allows, they fail with a :class:`CPLBoundsError` instead
+of a silently mis-ranked warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import GPU, GPUConfig, apply_scheme
+from repro.analysis.pathlen import CheckedCriticalityPredictor
+from repro.core.cawa import SCHEMES
+from repro.core.cpl import CriticalityPredictor
+from repro.workloads import make_workload, workload_names
+
+#: Scales matching tests/test_workloads.py (each cell well under ~1s).
+FAST_SCALE = {
+    "bfs": 0.25,
+    "b+tree": 0.25,
+    "heartwall": 0.5,
+    "kmeans": 0.25,
+    "needle": 0.5,
+    "srad_1": 0.5,
+    "strcltr_small": 0.5,
+    "backprop": 0.25,
+    "particle": 0.5,
+    "pathfinder": 0.25,
+    "strcltr_mid": 0.5,
+    "tpacf": 0.5,
+    "synthetic_imbalance": 1.0,
+    "synthetic_divergence": 1.0,
+    "synthetic_memstress": 1.0,
+}
+
+#: Fast tier-1 grid: divergence-heavy workloads across the scheme space.
+FAST_GRID = [
+    ("bfs", "cawa"),
+    ("kmeans", "gcaws"),
+    ("needle", "cawa"),
+    ("synthetic_divergence", "gto"),
+    ("b+tree", "cawa"),
+]
+
+
+def run_checked(name: str, scheme: str) -> GPU:
+    config = replace(
+        apply_scheme(GPUConfig.default_sim(), scheme),
+        check_cpl_bounds=True,
+    )
+    gpu = GPU(config)
+    wl = make_workload(name, scale=FAST_SCALE[name])
+    wl.run(gpu, scheme=scheme, check=True)  # raises CPLBoundsError on drift
+    return gpu
+
+
+@pytest.mark.parametrize("name,scheme", FAST_GRID)
+def test_cpl_deltas_stay_in_static_envelope(name, scheme):
+    gpu = run_checked(name, scheme)
+    predictors = [sm.cpl for sm in gpu.sms]
+    assert all(isinstance(p, CheckedCriticalityPredictor) for p in predictors)
+    # The run must actually have exercised the checker, including at least
+    # one branch whose envelope is finite (a real two-arm region).
+    assert sum(p.bound_checks for p in predictors) > 0
+    assert sum(p.finite_checks for p in predictors) > 0
+
+
+def test_flag_off_installs_plain_predictor():
+    gpu = GPU(GPUConfig.default_sim())
+    for sm in gpu.sms:
+        assert type(sm.cpl) is CriticalityPredictor
+
+
+def test_flag_does_not_change_timing():
+    # The checker is observational: cycle counts are bit-identical.
+    results = {}
+    for flag in (False, True):
+        config = replace(
+            apply_scheme(GPUConfig.default_sim(), "gcaws"),
+            check_cpl_bounds=flag,
+        )
+        gpu = GPU(config)
+        wl = make_workload("kmeans", scale=FAST_SCALE["kmeans"])
+        results[flag] = wl.run(gpu, scheme="gcaws", check=True)
+    assert results[False].cycles == results[True].cycles
+    assert results[False].ipc == results[True].ipc
+
+
+def test_flag_excluded_from_fingerprint():
+    base = GPUConfig.default_sim()
+    flagged = replace(base, check_cpl_bounds=True)
+    assert base.fingerprint() == flagged.fingerprint()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+@pytest.mark.parametrize("name", workload_names(include_synthetic=True))
+def test_full_grid_stays_in_envelope(name, scheme):
+    gpu = run_checked(name, scheme)
+    assert sum(sm.cpl.bound_checks for sm in gpu.sms) >= 0

@@ -194,3 +194,101 @@ class TestValidateKernel:
         ]
         with pytest.raises(KernelValidationError):
             validate_kernel(Kernel("k", insts, {}, 2, 1))
+
+
+class TestValidateHardening:
+    """Structural invariants added with the static-analysis subsystem:
+    region nesting, duplicate reconvergence PCs, and branch-dominates-
+    reconvergence (all enforced by ``validate_kernel``)."""
+
+    @staticmethod
+    def _raw(name, instrs, num_preds=1):
+        from dataclasses import replace
+
+        from repro.isa.instructions import Instruction  # noqa: F401
+
+        resolved = [replace(i, pc=pc) for pc, i in enumerate(instrs)]
+        return Kernel(name, resolved, {}, 1, num_preds)
+
+    @staticmethod
+    def _setp():
+        from repro.isa.instructions import Instruction
+
+        return Instruction(Opcode.SETP, dst=0, imm=1.0, cmp=CmpOp.EQ)
+
+    def test_rejects_ill_nested_regions(self):
+        from repro.isa.instructions import Instruction
+
+        insts = [
+            self._setp(),
+            Instruction(Opcode.BRA, pred=0, target_pc=3, reconv_pc=5),
+            Instruction(Opcode.BRA, pred=0, target_pc=4, reconv_pc=7),
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.RECONV),
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.RECONV),
+            Instruction(Opcode.EXIT),
+        ]
+        with pytest.raises(KernelValidationError, match="must nest"):
+            validate_kernel(self._raw("illnested", insts))
+
+    def test_rejects_duplicate_shared_reconv_pc(self):
+        from repro.isa.instructions import Instruction
+
+        insts = [
+            self._setp(),
+            Instruction(Opcode.BRA, pred=0, target_pc=3, reconv_pc=5),
+            Instruction(Opcode.BRA, pred=0, target_pc=4, reconv_pc=5),
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.RECONV),
+            Instruction(Opcode.EXIT),
+        ]
+        with pytest.raises(KernelValidationError, match="share reconvergence"):
+            validate_kernel(self._raw("dupreconv", insts))
+
+    def test_rejects_undominated_reconv_pc(self):
+        from repro.isa.instructions import Instruction
+
+        insts = [
+            self._setp(),
+            Instruction(Opcode.BRA, pred=0, target_pc=7, reconv_pc=9),
+            Instruction(Opcode.BRA, pred=0, target_pc=5, reconv_pc=7),
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.BRA, target_pc=7),
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.BRA, target_pc=7),
+            Instruction(Opcode.RECONV),
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.RECONV),
+            Instruction(Opcode.EXIT),
+        ]
+        with pytest.raises(KernelValidationError, match="never be popped"):
+            validate_kernel(self._raw("undominated", insts))
+
+    def test_accepts_sibling_loop_breaks_sharing_reconv(self):
+        # Two breaks of the same loop share the loop-exit reconvergence
+        # point by construction; build() validates, so this must not raise.
+        b = KernelBuilder("twobreaks")
+        p, q = b.pred(), b.pred()
+        j = b.const(0.0)
+        with b.loop() as lp:
+            b.setp(p, CmpOp.GE, j, 4.0)
+            lp.break_if(p)
+            b.setp(q, CmpOp.GE, j, 2.0)
+            lp.break_if(q)
+            b.add(j, j, 1.0)
+        kernel = b.build()
+        validate_kernel(kernel)  # idempotent re-check
+
+    def test_accepts_nested_structured_regions(self):
+        b = KernelBuilder("oknest")
+        i = b.sreg(Special.TID)
+        p, q = b.pred(), b.pred()
+        b.setp(p, CmpOp.LT, i, 16.0)
+        b.setp(q, CmpOp.LT, i, 8.0)
+        with b.if_then(p):
+            with b.if_then(q):
+                b.nop()
+        validate_kernel(b.build())

@@ -1,0 +1,102 @@
+"""Golden tests for ``Kernel.disassemble`` / ``format_instruction``.
+
+The disassembly is the substrate of lint findings (``source_line``) and of
+debugging sessions, so the rendering is pinned exactly: guard predicates
+with negation, SETP comparison operators, LD/ST memory spaces and offsets,
+and branch targets with their reconvergence labels.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import CmpOp, MemSpace, Special
+from repro.isa.kernel import KernelBuilder
+
+
+def build_golden_kernel():
+    b = KernelBuilder("golden", shared_mem_bytes=64)
+    i = b.sreg(Special.TID)
+    p = b.pred()
+    b.setp(p, CmpOp.LT, i, 4.0)
+    with b.if_then(p):
+        x = b.ld(i, offset=8, space=MemSpace.SHARED)
+        b.st(i, x, offset=-8)
+    return b.build()
+
+
+GOLDEN = """\
+    0:  sreg r0, tid
+    1:  setp.lt p0, r0, #4
+    2:  @!p0 bra else_1, reconv=else_1
+    3:  ld.shared r1, [r0 + 8]
+    4:  st [r0 - 8], r1
+else_1:
+endif_2:
+    5:  reconv
+    6:  exit"""
+
+GOLDEN_LOOP = """\
+    0:  mov r0, #0
+loop_1:
+    1:  setp.ge p0, r0, #3
+    2:  @p0 bra endloop_2, reconv=endloop_2
+    3:  add r0, r0, #1
+    4:  bra loop_1
+endloop_2:
+    5:  reconv
+    6:  exit"""
+
+
+class TestDisassembleGolden:
+    def test_if_then_kernel(self):
+        assert build_golden_kernel().disassemble() == GOLDEN
+
+    def test_loop_kernel(self):
+        b = KernelBuilder("looped")
+        p = b.pred()
+        j = b.const(0.0)
+        with b.loop() as lp:
+            b.setp(p, CmpOp.GE, j, 3.0)
+            lp.break_if(p)
+            b.add(j, j, 1.0)
+        assert b.build().disassemble() == GOLDEN_LOOP
+
+    def test_round_trips_negated_guard(self):
+        # The old rendering dropped pred_neg entirely; pin it.
+        text = build_golden_kernel().disassemble()
+        assert "@!p0 bra" in text
+
+    def test_round_trips_memory_space(self):
+        text = build_golden_kernel().disassemble()
+        assert "ld.shared r1, [r0 + 8]" in text
+        # Global accesses carry no suffix.
+        assert "st [r0 - 8], r1" in text
+
+    def test_round_trips_reconvergence_label(self):
+        text = build_golden_kernel().disassemble()
+        assert "reconv=else_1" in text
+
+
+class TestFormatInstruction:
+    def test_setp_selp_mad_and_guards(self):
+        b = KernelBuilder("ops")
+        p = b.pred()
+        a, c, d = b.reg(), b.reg(), b.reg()
+        b.setp(p, CmpOp.EQ, a, 0.0)
+        b.selp(d, p, a, 2.5)
+        b.mad(d, a, 3.0, c)
+        b.mul(d, a, c, pred=p, pred_neg=False)
+        k = b.build()
+        assert k.source_line(0) == "[0] setp.eq p0, r0, #0"
+        # SELP's predicate is a data operand, not a guard: trailing pN.
+        assert k.source_line(1) == "[1] selp r2, r0, #2.5, p0"
+        assert k.source_line(2) == "[2] mad r2, r0, r1, #3"
+        assert k.source_line(3) == "[3] @p0 mul r2, r0, r1"
+        assert k.source_line(4) == "[4] exit"
+
+    def test_source_line_matches_disassembly_text(self):
+        k = build_golden_kernel()
+        assert k.source_line(2) == "[2] @!p0 bra else_1, reconv=else_1"
+        for pc in range(len(k)):
+            line = k.source_line(pc)
+            assert line.startswith(f"[{pc}] ")
+            assert line[len(f"[{pc}] ") :] in k.disassemble()
