@@ -102,19 +102,55 @@ def cmd_profile(args) -> int:
     from .experiments import profiling
 
     if args.compare:
-        report = profiling.compare_cores(
-            args.workload, args.scheme, scale=args.scale,
-            config=_base_config(args), repeats=args.repeats,
-        )
-        for core in ("event", "scan"):
-            row = report[core]
-            print(
-                f"{core:<6} {row['cycles']:>10.0f} cycles  "
-                f"{row['seconds']:>7.2f}s CPU  "
-                f"{row['cycles_per_second']:>12,.0f} cycles/s"
+        kind, _, values = args.compare.partition("=")
+        if kind in ("clock", "clocks"):
+            clocks = tuple(v.strip() for v in values.split(",") if v.strip()) \
+                or ("cycle", "skip")
+            report = profiling.compare_clocks(
+                args.workload, args.scheme, scale=args.scale,
+                config=_base_config(args), repeats=args.repeats, clocks=clocks,
             )
-        print(f"event-core speedup: {report['event_speedup']['wall']:.2f}x")
-        return 0
+            print(f"{'clock':<7} {'cycles':>10} {'CPU s':>8} {'cycles/s':>13} "
+                  f"{'skipped':>9} {'jumps':>7}")
+            for clock in clocks:
+                row = report[clock]["throughput"]
+                print(
+                    f"{clock:<7} {row['cycles']:>10.0f} {row['seconds']:>8.2f} "
+                    f"{row['cycles_per_second']:>13,.0f} "
+                    f"{row['cycles_skipped']:>9.0f} {row['skip_jumps']:>7.0f}"
+                )
+            print(f"{clocks[-1]}-clock speedup over {clocks[0]}: "
+                  f"{report['speedup']['wall']:.2f}x")
+            components = sorted(
+                {c for clock in clocks for c in report[clock]["components"]}
+            )
+            print("\nper-component self time (one profiled run):")
+            header = f"{'component':<18}" + "".join(f"{c:>10}" for c in clocks)
+            print(header)
+            for comp in components:
+                cells = "".join(
+                    f"{report[clock]['components'].get(comp, 0.0):>10.3f}"
+                    for clock in clocks
+                )
+                print(f"{comp:<18}{cells}")
+            return 0
+        if kind in ("core", "cores"):
+            report = profiling.compare_cores(
+                args.workload, args.scheme, scale=args.scale,
+                config=_base_config(args), repeats=args.repeats,
+            )
+            for core in ("event", "scan"):
+                row = report[core]
+                print(
+                    f"{core:<6} {row['cycles']:>10.0f} cycles  "
+                    f"{row['seconds']:>7.2f}s CPU  "
+                    f"{row['cycles_per_second']:>12,.0f} cycles/s"
+                )
+            print(f"event-core speedup: {report['event_speedup']['wall']:.2f}x")
+            return 0
+        print(f"unknown --compare spec {args.compare!r}; "
+              "use 'core' or 'clock=cycle,skip'")
+        return 2
     profiling.profile_run(
         args.workload, args.scheme, scale=args.scale,
         config=_base_config(args), core=args.core,
@@ -293,8 +329,13 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["cumulative", "tottime", "ncalls"])
     p_prof.add_argument("--top", type=int, default=25,
                         help="number of profile rows to print")
-    p_prof.add_argument("--compare", action="store_true",
-                        help="time both issue cores instead of profiling")
+    p_prof.add_argument(
+        "--compare", nargs="?", const="core", default=None, metavar="SPEC",
+        help="comparison mode instead of profiling: 'core' (default when "
+        "the flag is bare) times the event/scan issue cores; "
+        "'clock=cycle,skip' times both device clocks and prints wall "
+        "time, cycles/s, and a per-component breakdown",
+    )
     p_prof.add_argument("--repeats", type=int, default=3,
                         help="best-of-N repeats for --compare")
 

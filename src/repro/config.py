@@ -142,6 +142,26 @@ class GPUConfig:
     #: and therefore shares result-cache entries with the execute frontend.
     #: See ``docs/trace_driven.md``.
     frontend: str = "execute"
+    #: Simulation clock: ``"cycle"`` (default) advances the device clock
+    #: one cycle at a time while any SM issues (jumping only when the whole
+    #: device is stalled); ``"skip"`` drives the clock from a global
+    #: min-heap of per-component next-event times (SM scoreboard/MSHR/
+    #: barrier wakes, L2 bank frees, DRAM completions — see
+    #: :mod:`repro.gpu.clock`), ticking only the SMs that can actually act
+    #: at each event time and jumping the clock straight between events.
+    #: Both clocks are bit-identical by contract
+    #: (``tests/test_skip_clock_parity.py``) and therefore, like
+    #: ``issue_core``/``frontend``, excluded from :meth:`fingerprint`.
+    #: See ``docs/timing_model.md`` ("Clock modes").
+    clock: str = "cycle"
+    #: Sharded multi-SM replay (trace frontend only): partition the SMs
+    #: across this many worker processes, synchronizing conservatively at
+    #: every shared L2/DRAM interaction and block-dispatch boundary so the
+    #: merged result is bit-identical to a serial replay (see
+    #: :mod:`repro.gpu.sharded` and ``docs/trace_driven.md``).  ``1``
+    #: (default) keeps replay in-process.  Timing-transparent by contract,
+    #: hence excluded from :meth:`fingerprint`.
+    shards: int = 1
     #: Debug mode: install :class:`repro.analysis.CheckedCriticalityPredictor`
     #: in place of the plain CPL predictor, asserting at every resolved
     #: branch that the dynamic Algorithm-2 ``nInst`` delta lies inside the
@@ -171,6 +191,18 @@ class GPUConfig:
         if self.frontend not in ("execute", "trace"):
             raise ConfigError(
                 f"frontend must be 'execute' or 'trace', got {self.frontend!r}"
+            )
+        if self.clock not in ("cycle", "skip"):
+            raise ConfigError(
+                f"clock must be 'cycle' or 'skip', got {self.clock!r}"
+            )
+        if self.shards <= 0:
+            raise ConfigError(f"shards must be positive, got {self.shards}")
+        if self.shards > 1 and self.frontend != "trace":
+            raise ConfigError(
+                "sharded replay (shards > 1) requires frontend='trace'; "
+                "the execute frontend mutates global memory and cannot be "
+                "partitioned across worker processes"
             )
 
     @classmethod
@@ -233,20 +265,31 @@ class GPUConfig:
         """Return a copy using simulation frontend ``frontend``."""
         return replace(self, frontend=frontend)
 
+    def with_clock(self, clock: str) -> "GPUConfig":
+        """Return a copy using simulation clock ``clock`` (cycle/skip)."""
+        return replace(self, clock=clock)
+
+    def with_shards(self, shards: int) -> "GPUConfig":
+        """Return a copy replaying across ``shards`` worker processes."""
+        return replace(self, shards=shards)
+
     def fingerprint(self) -> str:
         """Stable short hash of every timing-relevant parameter.
 
         Keys the persistent on-disk result cache: any change to the
         configuration (cache geometry, latencies, scheduler, ...) yields a
-        different fingerprint and therefore a cache miss.  ``issue_core``
-        and ``frontend`` are deliberately *excluded* — the event/scan cores
-        and the execute/trace frontends are bit-identical by contract, so
-        results are shared between them.
+        different fingerprint and therefore a cache miss.  ``issue_core``,
+        ``frontend``, ``clock`` and ``shards`` are deliberately *excluded*
+        — the event/scan cores, the execute/trace frontends, the
+        cycle/skip clocks and serial/sharded replay are all bit-identical
+        by contract, so results are shared between them.
         """
         payload = dataclasses.asdict(self)
         payload.pop("issue_core", None)
         payload.pop("frontend", None)
         payload.pop("check_cpl_bounds", None)
+        payload.pop("clock", None)
+        payload.pop("shards", None)
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 

@@ -86,6 +86,78 @@ def compare_cores(
             "event_speedup": {"wall": speedup}}
 
 
+def _component_of(filename: str) -> str:
+    """Map a profiled filename onto a coarse simulator component.
+
+    ``repro`` sources aggregate by subpackage (``repro.sm``,
+    ``repro.memory``, ...); everything else (stdlib, numpy) lands in
+    ``other``.
+    """
+    marker = "repro" + ("/" if "/" in filename else "\\")
+    idx = filename.rfind(marker)
+    if idx < 0:
+        return "other"
+    parts = filename[idx:].replace("\\", "/").split("/")
+    if len(parts) >= 3:
+        return f"repro.{parts[1]}"
+    return "repro"
+
+
+def _component_breakdown(profiler: cProfile.Profile) -> Dict[str, float]:
+    """Aggregate a profile's self-time (tottime) by simulator component."""
+    stats = pstats.Stats(profiler)
+    totals: Dict[str, float] = {}
+    for (filename, _lineno, _func), entry in stats.stats.items():
+        tottime = entry[2]
+        comp = _component_of(filename)
+        totals[comp] = totals.get(comp, 0.0) + tottime
+    return totals
+
+
+def compare_clocks(
+    workload: str,
+    scheme: str,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    repeats: int = 3,
+    clocks: Tuple[str, ...] = ("cycle", "skip"),
+) -> Dict[str, Dict]:
+    """Measure the per-cycle and time-skipping clocks on one cell.
+
+    For each clock: best-of-``repeats`` wall/CPU throughput plus one
+    profiled run aggregated into a per-component self-time breakdown
+    (``repro.sm``, ``repro.memory``, ...).  The returned dict maps each
+    clock name to ``{"throughput": ..., "components": ...}`` and carries a
+    ``"speedup"`` entry (first clock's wall time over the last's — i.e.
+    how much the skip clock wins with the default pair).  Results are
+    bit-identical across clocks by contract, so the comparison is purely
+    about wall time.
+    """
+    base = config or GPUConfig.default_sim()
+    report: Dict[str, Dict] = {}
+    for clock in clocks:
+        cfg = base.with_clock(clock)
+        tp = throughput(workload, scheme, scale, cfg, None, repeats)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = runner.run_scheme(
+            workload, scheme, scale=scale, config=cfg,
+            use_cache=False, persistent=False,
+        )
+        profiler.disable()
+        tp["cycles_skipped"] = result.cycles_skipped
+        tp["skip_jumps"] = float(result.skip_jumps)
+        report[clock] = {
+            "throughput": tp,
+            "components": _component_breakdown(profiler),
+        }
+    first, last = clocks[0], clocks[-1]
+    first_s = report[first]["throughput"]["seconds"]
+    last_s = report[last]["throughput"]["seconds"]
+    report["speedup"] = {"wall": first_s / last_s if last_s > 0 else 0.0}
+    return report
+
+
 def profile_run(
     workload: str,
     scheme: str,

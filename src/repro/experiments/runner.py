@@ -75,6 +75,7 @@ def run_scheme(
     use_cache: bool = True,
     observers: Optional[list] = None,
     persistent: bool = True,
+    shards: int = 1,
     **workload_kwargs,
 ) -> RunResult:
     """Run one (workload, scheme) cell and return its :class:`RunResult`.
@@ -83,6 +84,11 @@ def run_scheme(
     ``with_reuse`` attaches the Fig 3 reuse-distance profiler.  Their
     outputs land in ``result.extra``.  ``observers`` are additional SM
     issue observers (e.g. the Fig 12 priority tracer).
+
+    ``shards > 1`` replays the cell across that many worker processes
+    (trace frontend only — see :mod:`repro.gpu.sharded`); like ``clock``
+    it is timing-transparent, so cached results are shared across shard
+    counts (both knobs are excluded from the config fingerprint).
 
     ``persistent`` enables the on-disk result cache for plain runs (no
     workload kwargs, no observers, no reuse profiler — those carry live
@@ -97,6 +103,11 @@ def run_scheme(
         return _CACHE[key]
 
     base = config or GPUConfig.default_sim()
+    if shards > 1:
+        # Frontend first: config validation rejects shards > 1 off-trace.
+        if base.frontend != "trace":
+            base = base.with_frontend("trace")
+        base = base.with_shards(shards)
     cfg = apply_scheme(base, scheme)
 
     disk_key = None
@@ -181,7 +192,10 @@ def _trace_frontend_run(
     # attached.  Any scheme records the same functional streams (they are
     # schedule-invariant), so recording under the requested scheme yields
     # this cell's execute-frontend result for free.
-    exec_cfg = cfg.with_frontend("execute")
+    # Shards only apply to replay; the recording run is a plain serial
+    # execute-frontend run (shards=1 first: validation rejects sharded
+    # non-trace configs).
+    exec_cfg = cfg.with_shards(1).with_frontend("execute")
     recorder = trace_mod.TraceRecorder(exec_cfg)
     gpu = GPU(exec_cfg, oracle=oracle)
     gpu.attach_recorder(recorder)

@@ -1,10 +1,25 @@
-"""The GPU device: SMs, shared L2 + DRAM, dispatcher, and the run loop.
+"""The GPU device: SMs, shared L2 + DRAM, dispatcher, and the run loops.
 
-The run loop is cycle-based with idle skipping: every completion time is
-known the moment an instruction issues (scoreboard entries and memory walk
-results are future cycles), so when no warp can issue the loop jumps
-directly to the earliest wake-up — semantics are identical to ticking every
-cycle, minus the Python overhead.
+Two device clocks are provided (``GPUConfig.clock``):
+
+``"cycle"`` (default)
+    Cycle-based with whole-device idle skipping: every completion time is
+    known the moment an instruction issues (scoreboard entries and memory
+    walk results are future cycles), so when *no* SM can issue the loop
+    jumps directly to the earliest wake-up.  While any SM issues, however,
+    every SM is ticked every cycle.
+
+``"skip"``
+    The time-skipping clock (:mod:`repro.gpu.clock`): a global min-heap of
+    per-SM next-event times drives the loop, so only the SMs that can
+    actually act at an event time are ticked and the clock jumps straight
+    between events.  Bit-identical to the per-cycle clock by contract
+    (``tests/test_skip_clock_parity.py``); see ``docs/timing_model.md``
+    ("Clock modes").
+
+Both loops count their jumps: ``RunResult.skip_jumps`` is the number of
+clock advances larger than one cycle and ``RunResult.cycles_skipped`` the
+total number of cycles those advances never visited.
 """
 
 from __future__ import annotations
@@ -24,6 +39,7 @@ from ..simt.executor import FunctionalExecutor
 from ..sm.dispatcher import BlockDispatcher
 from ..sm.sm import StreamingMultiprocessor
 from ..stats.counters import RunResult, merge_cache_stats, replace_stats, subtract_stats
+from .clock import DeviceEventHeap
 
 
 class GPU:
@@ -195,46 +211,21 @@ class GPU:
 
         dispatcher = BlockDispatcher(kernel, grid_dim, block_dim, self.config.warp_size)
         start_cycle = self.now
-        cycle = start_cycle
         snapshots = self._snapshot_stats()
-        dispatcher.try_dispatch(self.sms, cycle)
+        dispatcher.try_dispatch(self.sms, start_cycle)
 
         # Block commits are reported by the SMs via a callback flag, so the
-        # loop no longer sums per-SM commit counters every cycle.
+        # loops never sum per-SM commit counters every cycle.
         self._commit_pending = False
+        self._launch_cycles_skipped = 0.0
+        self._launch_skip_jumps = 0
         for sm in self.sms:
             sm.on_commit = self._note_commit
         try:
-            while True:
-                issued = False
-                for sm in self.sms:
-                    if sm.tick(cycle):
-                        issued = True
-
-                if self._commit_pending:
-                    self._commit_pending = False
-                    if not dispatcher.exhausted:
-                        dispatcher.try_dispatch(self.sms, cycle + 1)
-
-                busy = any(sm.busy for sm in self.sms)
-                if not busy and dispatcher.exhausted:
-                    break
-
-                if issued:
-                    cycle += 1
-                else:
-                    wake = min(sm.next_wake_time(cycle) for sm in self.sms)
-                    if math.isinf(wake):
-                        for sm in self.sms:
-                            sm.detect_deadlock(cycle)
-                        raise DeadlockError("no warp can make progress")
-                    cycle = max(cycle + 1, wake)
-
-                if cycle - start_cycle > self.max_cycles:
-                    raise DeadlockError(
-                        f"simulation exceeded {self.max_cycles:.0f} cycles; "
-                        "likely a runaway kernel"
-                    )
+            if self.config.clock == "skip":
+                cycle = self._run_skip_loop(dispatcher, start_cycle)
+            else:
+                cycle = self._run_cycle_loop(dispatcher, start_cycle)
         finally:
             for sm in self.sms:
                 sm.on_commit = None
@@ -242,8 +233,135 @@ class GPU:
         self.now = cycle + 1
         return self._collect(kernel.name, scheme, cycle - start_cycle, snapshots)
 
+    # ------------------------------------------------------------------
+    # Run loops (see module docstring; bit-identical by contract)
+    # ------------------------------------------------------------------
+    def _run_cycle_loop(self, dispatcher: BlockDispatcher, start_cycle: float) -> float:
+        """Per-cycle clock: tick every SM each cycle, jump only when the
+        whole device is stalled.  Returns the final cycle."""
+        cycle = start_cycle
+        while True:
+            issued = False
+            for sm in self.sms:
+                if sm.tick(cycle):
+                    issued = True
+
+            if self._commit_pending:
+                self._commit_pending = False
+                if not dispatcher.exhausted:
+                    dispatcher.try_dispatch(self.sms, cycle + 1)
+
+            busy = any(sm.busy for sm in self.sms)
+            if not busy and dispatcher.exhausted:
+                return cycle
+
+            if issued:
+                cycle += 1
+            else:
+                wake = min(sm.next_wake_time(cycle) for sm in self.sms)
+                if math.isinf(wake):
+                    for sm in self.sms:
+                        sm.detect_deadlock(cycle)
+                    raise DeadlockError("no warp can make progress")
+                nxt = max(cycle + 1, wake)
+                if nxt > cycle + 1:
+                    self._launch_skip_jumps += 1
+                    self._launch_cycles_skipped += nxt - cycle - 1
+                cycle = nxt
+
+            if cycle - start_cycle > self.max_cycles:
+                raise DeadlockError(
+                    f"simulation exceeded {self.max_cycles:.0f} cycles; "
+                    "likely a runaway kernel"
+                )
+
+    def _run_skip_loop(
+        self,
+        dispatcher: BlockDispatcher,
+        start_cycle: float,
+        sms: Optional[List[StreamingMultiprocessor]] = None,
+    ) -> float:
+        """Time-skipping clock: heap-driven event loop over per-SM wakes.
+
+        Ticks only the SMs whose next-event time has arrived, in ``sm_id``
+        order (the serial shared-L2/DRAM access order), and jumps the clock
+        directly between event times.  Wake-time *under*-estimates (MSHR
+        reserve gating, a scheduler declining its ready set) re-tick one
+        cycle later, exactly as the per-cycle loop would; block dispatch —
+        the only cross-SM waker — refreshes the heap entry of every SM that
+        received warps.  Returns the final cycle.
+
+        ``sms`` restricts the loop to a subset of the device's SMs (heap
+        slots are positions in the list, which must be in ascending
+        ``sm_id`` order).  The sharded-replay workers
+        (:mod:`repro.gpu.sharded`) drive their shard's SMs this way; the
+        default is the whole device.
+        """
+        if sms is None:
+            sms = self.sms
+        heap = DeviceEventHeap(len(sms))
+        for slot, sm in enumerate(sms):
+            heap.schedule(slot, max(sm.next_event_time(start_cycle), start_cycle))
+        cycle = start_cycle
+        last = start_cycle - 1.0
+        while True:
+            t = heap.next_time()
+            if math.isinf(t):
+                # No SM can ever act again.  A completed launch breaks out
+                # at commit time below, so this is a deadlock.
+                for sm in sms:
+                    sm.detect_deadlock(cycle)
+                raise DeadlockError("no warp can make progress")
+            if t - start_cycle > self.max_cycles:
+                raise DeadlockError(
+                    f"simulation exceeded {self.max_cycles:.0f} cycles; "
+                    "likely a runaway kernel"
+                )
+            if t > last + 1.0:
+                self._launch_skip_jumps += 1
+                self._launch_cycles_skipped += t - last - 1.0
+            cycle = t
+            for slot in heap.pop_due(t):
+                sm = sms[slot]
+                sm.tick(t)
+                # next_wake_time *is* the SM's next_event_time; called
+                # directly because this is the simulator's hottest line.
+                wake = sm.next_wake_time(t)
+                heap.schedule(slot, wake if wake > t else t + 1.0)
+            last = t
+            if self._commit_pending:
+                self._commit_pending = False
+                if not dispatcher.exhausted:
+                    # Dispatch is the one cross-SM wake source: newly
+                    # resident warps are schedulable from t+1.  Only SMs
+                    # that actually received warps can have gained an
+                    # earlier wake, detected via the monotonically
+                    # increasing per-SM dynamic-warp-id counter.
+                    marks = [sm._next_dynamic_id for sm in sms]
+                    dispatcher.try_dispatch(self.sms, t + 1.0)
+                    for slot, (sm, mark) in enumerate(zip(sms, marks)):
+                        if sm._next_dynamic_id != mark:
+                            wake = sm.next_wake_time(t)
+                            heap.schedule(slot, wake if wake > t else t + 1.0)
+                elif not any(sm.busy for sm in sms):
+                    return cycle
+
     def _note_commit(self, _sm) -> None:
         self._commit_pending = True
+
+    # ------------------------------------------------------------------
+    def next_event_time(self, now: float) -> float:
+        """Earliest event anywhere on the device after ``now``.
+
+        Minimum over every SM's wake time and the shared hierarchy's
+        bank/channel frees.  The skip loop itself heaps only the SM wakes
+        (the hierarchy terms shape latencies, never issue eligibility); this
+        aggregate exists for diagnostics and external drivers such as the
+        sharded-replay coordinator (:mod:`repro.gpu.sharded`).
+        """
+        times = [sm.next_event_time(now) for sm in self.sms]
+        times.append(self.hierarchy.next_event_time(now))
+        return min(times)
 
     # ------------------------------------------------------------------
     def _snapshot_stats(self):
@@ -288,4 +406,8 @@ class GPU:
             blocks=blocks,
             dram_accesses=self.hierarchy.dram.accesses - snap["dram"],
             warp_size=self.config.warp_size,
+            clock=self.config.clock,
+            shards=self.config.shards,
+            cycles_skipped=self._launch_cycles_skipped,
+            skip_jumps=self._launch_skip_jumps,
         )

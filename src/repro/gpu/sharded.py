@@ -1,0 +1,388 @@
+"""Sharded multi-SM trace replay (``GPUConfig.shards > 1``).
+
+Partitions the device's SMs across worker processes; each worker replays
+its shard's SMs with the time-skipping event loop while a coordinator in
+the parent process owns the *authoritative* shared L2 and DRAM.  The
+result is bit-identical to a serial replay and deterministic across runs
+and shard counts.
+
+Why this is safe under the trace frontend only
+----------------------------------------------
+
+Replay computes no lane values: warps follow recorded streams, so a shard
+needs nothing from global memory, and the only mutable state shared
+between SMs is the L2 tag/bank state and the DRAM channel.  The execute
+frontend also mutates :class:`~repro.memory.data.GlobalMemory`, which is
+why ``shards > 1`` requires ``frontend='trace'``
+(:class:`~repro.config.GPUConfig` enforces this at validation time).
+
+Epoch barriers at L2/DRAM interaction boundaries
+------------------------------------------------
+
+All intra-shard work (issue, scoreboards, L1 hits, MSHR merges) proceeds
+freely inside each worker.  Every *shared* interaction — an L1 miss that
+must walk the L2/DRAM — is an epoch boundary: the worker sends the access
+to the coordinator and blocks for the completion time.  The coordinator
+services accesses in the exact global order the serial loop would have
+produced — ascending ``(tick_cycle, sm_id)``, FIFO within one SM tick —
+which it can do *conservatively*: it only serves the minimum pending key
+once every worker is blocked (on an access, a launch barrier, or
+completion), because each worker's future keys are monotonically
+non-decreasing.  Between launches the coordinator aligns every shard's
+clock to the global maximum commit cycle, exactly like the serial
+``GPU.now`` hand-off.
+
+Restrictions (checked up front, reported as :class:`ConfigError`):
+
+* the whole grid must be resident after the initial dispatch (block
+  re-dispatch after a commit is a cross-shard wake the workers cannot
+  observe);
+* live observers cannot cross process boundaries;
+* the platform must support ``fork`` (workers inherit the loaded trace
+  and constructed device copy-on-write; nothing is pickled).
+
+Determinism & merging: per-shard results are reduced with
+:func:`~repro.stats.counters.merge_shard_results` — counters sum, cycles
+take the global maximum, block summaries re-sort by ``block_id`` — and the
+coordinator substitutes its authoritative L2/DRAM deltas, so the merged
+result is independent of worker scheduling.  See ``docs/trace_driven.md``
+("Sharded replay").
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import traceback
+from typing import List, Optional
+
+from ..config import GPUConfig
+from ..errors import ConfigError, DeadlockError
+from ..memory.hierarchy import AccessOutcome, MemoryHierarchy
+from ..memory.request import MemRequest
+from ..stats.counters import (
+    RunResult,
+    merge_shard_results,
+    replace_stats,
+    subtract_stats,
+)
+from .clock import DeviceEventHeap
+
+
+class ShardError(RuntimeError):
+    """A sharded-replay worker died; carries the worker's traceback."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _SharedMemoryClient:
+    """Worker-side stand-in for :class:`MemoryHierarchy`.
+
+    The L1 probe, MSHR merge, and MSHR capacity gating run locally (those
+    structures are private to the shard's SMs); the L2/DRAM walk crosses
+    the pipe to the coordinator, which owns the authoritative shared
+    state.  ``begin_tick`` stamps the ordering key — the serial loop
+    walks the hierarchy in ascending ``(tick_cycle, sm_id)`` order, and
+    the coordinator reproduces exactly that order.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._tick_cycle = 0.0
+        self._sm_id = 0
+
+    def begin_tick(self, cycle: float, sm_id: int) -> None:
+        self._tick_cycle = cycle
+        self._sm_id = sm_id
+
+    def next_event_time(self, now: float) -> float:
+        """Shared-side events are the coordinator's business; nothing here
+        ever wakes a shard (see :mod:`repro.gpu.clock`)."""
+        return math.inf
+
+    def access(self, l1, mshr, req: MemRequest, now: float) -> AccessOutcome:
+        """Same walk as :meth:`MemoryHierarchy.access`, L2/DRAM remoted."""
+        l1_latency = l1.config.hit_latency
+        hit = l1.access(req)
+        if hit:
+            return AccessOutcome(l1_hit=True, completion=now + l1_latency)
+        merged_completion = mshr.lookup(req.line_addr, now)
+        if merged_completion is not None:
+            return AccessOutcome(
+                l1_hit=False,
+                completion=max(merged_completion, now + l1_latency),
+                merged=True,
+            )
+        start = mshr.earliest_start(now) + l1_latency
+        self._conn.send(
+            (
+                "acc",
+                self._tick_cycle,
+                self._sm_id,
+                (req.line_addr, req.pc, req.is_load, req.is_critical,
+                 req.cycle, req.signature),
+                start,
+            )
+        )
+        completion = self._conn.recv()
+        mshr.register(req.line_addr, completion)
+        return AccessOutcome(l1_hit=False, completion=completion)
+
+
+def _shard_skip_loop(gpu, owned: List, start_cycle: float, proxy) -> float:
+    """The worker's event loop: :meth:`GPU._run_skip_loop` restricted to
+    the shard's SMs, with the ordering key stamped before every tick.
+
+    No dispatch branch: sharded replay requires the dispatcher exhausted
+    after the initial dispatch, so commits can only end the shard's part
+    of the launch.
+    """
+    heap = DeviceEventHeap(len(owned))
+    for slot, sm in enumerate(owned):
+        heap.schedule(slot, max(sm.next_event_time(start_cycle), start_cycle))
+    cycle = start_cycle
+    last = start_cycle - 1.0
+    while True:
+        t = heap.next_time()
+        if math.isinf(t):
+            for sm in owned:
+                sm.detect_deadlock(cycle)
+            raise DeadlockError("no warp can make progress (shard)")
+        if t - start_cycle > gpu.max_cycles:
+            raise DeadlockError(
+                f"simulation exceeded {gpu.max_cycles:.0f} cycles; "
+                "likely a runaway kernel"
+            )
+        if t > last + 1.0:
+            gpu._launch_skip_jumps += 1
+            gpu._launch_cycles_skipped += t - last - 1.0
+        cycle = t
+        for slot in heap.pop_due(t):
+            sm = owned[slot]
+            proxy.begin_tick(t, sm.sm_id)
+            sm.tick(t)
+            wake = sm.next_wake_time(t)
+            heap.schedule(slot, wake if wake > t else t + 1.0)
+        last = t
+        if gpu._commit_pending:
+            gpu._commit_pending = False
+            if not any(sm.busy for sm in owned):
+                return cycle
+
+
+def _worker_run_launch(gpu, launch, owned: List, scheme: str, proxy):
+    """One launch on one shard; mirrors :meth:`GPU.launch` step for step."""
+    from ..sm.dispatcher import BlockDispatcher
+    from ..trace.replay import make_warp_factory
+
+    launch_trace = gpu._next_launch_trace(
+        launch.kernel, launch.grid_dim, launch.block_dim
+    )
+    factory = make_warp_factory(launch_trace)
+    for sm in gpu.sms:
+        sm.warp_factory = factory
+
+    dispatcher = BlockDispatcher(
+        launch.kernel, launch.grid_dim, launch.block_dim, gpu.config.warp_size
+    )
+    start_cycle = gpu.now
+    snapshots = gpu._snapshot_stats()
+    # Every worker performs the SAME deterministic global dispatch over all
+    # SMs (it owns a full device copy), so shard-local residency exactly
+    # matches the serial run's; foreign SMs simply never tick.
+    dispatcher.try_dispatch(gpu.sms, start_cycle)
+    if not dispatcher.exhausted:
+        raise ConfigError(
+            "sharded replay requires the whole grid resident after the "
+            f"initial dispatch; {dispatcher.pending} of {launch.grid_dim} "
+            "blocks are still pending (dynamic re-dispatch would couple "
+            "shards). Reduce grid size, raise per-SM occupancy limits, or "
+            "run with shards=1."
+        )
+
+    gpu._commit_pending = False
+    gpu._launch_cycles_skipped = 0.0
+    gpu._launch_skip_jumps = 0
+    for sm in gpu.sms:
+        sm.on_commit = gpu._note_commit
+    try:
+        if any(sm.busy for sm in owned):
+            cycle = _shard_skip_loop(gpu, owned, start_cycle, proxy)
+        else:
+            cycle = start_cycle  # shard received no blocks
+    finally:
+        for sm in gpu.sms:
+            sm.on_commit = None
+    result = gpu._collect(launch.kernel.name, scheme, cycle - start_cycle, snapshots)
+    return result, cycle
+
+
+def _worker_main(gpu, shard_idx: int, num_shards: int, scheme: str, conn) -> None:
+    """Worker process entry point (forked; ``gpu`` inherited, not pickled)."""
+    try:
+        owned = [sm for sm in gpu.sms if sm.sm_id % num_shards == shard_idx]
+        proxy = _SharedMemoryClient(conn)
+        for sm in owned:
+            sm.lsu.hierarchy = proxy
+        for launch in gpu.trace_program.launches:
+            result, end_cycle = _worker_run_launch(gpu, launch, owned, scheme, proxy)
+            conn.send(("launch_done", result.to_dict(), end_cycle))
+            tag, global_now = conn.recv()
+            assert tag == "resume"
+            gpu.now = global_now
+        conn.send(("finished",))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+def _check_grid_resident(cfg: GPUConfig, program) -> None:
+    """Up-front occupancy check mirroring :meth:`SM.can_accept`.
+
+    Raising here (in the parent, before any fork) gives a clean error
+    instead of N worker tracebacks.
+    """
+    for idx, launch in enumerate(program.launches):
+        warps_per_block = (
+            launch.block_dim + cfg.warp_size - 1
+        ) // cfg.warp_size
+        regs_per_block = launch.kernel.num_regs * launch.block_dim
+        per_sm = min(
+            cfg.max_blocks_per_sm,
+            cfg.max_warps_per_sm // max(1, warps_per_block),
+            cfg.registers_per_sm // max(1, regs_per_block),
+        )
+        if launch.grid_dim > per_sm * cfg.num_sms:
+            raise ConfigError(
+                f"sharded replay: launch #{idx} has {launch.grid_dim} blocks "
+                f"but only {per_sm * cfg.num_sms} can be resident "
+                f"({cfg.num_sms} SMs x {per_sm} blocks); dynamic re-dispatch "
+                "would couple shards. Use shards=1 or a wider device config."
+            )
+
+
+def _serve_access(hierarchy: MemoryHierarchy, msg) -> float:
+    """Apply one remoted L2/DRAM walk to the authoritative shared state."""
+    _, _, sm_id, fields, start = msg
+    line_addr, pc, is_load, is_critical, cycle, signature = fields
+    req = MemRequest(
+        line_addr=line_addr,
+        pc=pc,
+        warp_key=(sm_id, -1, -1),
+        is_load=is_load,
+        is_critical=is_critical,
+        cycle=cycle,
+        signature=signature,
+    )
+    l2_hit, queued_start, l2_ready = hierarchy.l2.access(req, start)
+    if l2_hit:
+        return l2_ready
+    return hierarchy.dram.access(queued_start)
+
+
+def replay_program_sharded(
+    program,
+    config: GPUConfig,
+    scheme: str = "",
+    oracle: Optional[dict] = None,
+    max_cycles: float = 5e7,
+) -> List[RunResult]:
+    """Replay ``program`` across ``config.shards`` worker processes.
+
+    Returns one merged :class:`RunResult` per launch, bit-identical to a
+    serial :func:`~repro.trace.replay.replay_program` of the same config
+    (``tests/test_sharded_replay.py`` enforces this).
+    """
+    from .gpu import GPU  # local: avoid import cycle at module load
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ConfigError(
+            "sharded replay requires the 'fork' start method (workers "
+            "inherit the loaded trace); run with shards=1 on this platform"
+        )
+    num_shards = min(config.shards, config.num_sms)
+    _check_grid_resident(config, program)
+
+    # Template device, built once pre-fork: every worker inherits an
+    # identical copy (copy-on-write), so per-shard construction order,
+    # RNG-free policies, and trace bindings all match the serial run.
+    gpu = GPU(config, oracle=oracle, max_cycles=max_cycles, trace=program)
+    hierarchy = MemoryHierarchy(config)  # coordinator's authoritative L2+DRAM
+
+    ctx = multiprocessing.get_context("fork")
+    conns = []
+    procs = []
+    try:
+        for w in range(num_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(gpu, w, num_shards, scheme, child_conn),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        merged_results: List[RunResult] = []
+        for _ in program.launches:
+            l2_before = replace_stats(hierarchy.l2.stats)
+            dram_before = hierarchy.dram.accesses
+            pending: dict = {}
+            done: dict = {}
+            while len(done) < num_shards:
+                # Conservative barrier: every worker must be blocked (on an
+                # access or the launch barrier) before anything is served.
+                for w in range(num_shards):
+                    if w not in pending and w not in done:
+                        msg = conns[w].recv()
+                        if msg[0] == "error":
+                            raise ShardError(
+                                f"shard {w} failed:\n{msg[1]}"
+                            )
+                        pending[w] = msg
+                for w, msg in list(pending.items()):
+                    if msg[0] == "launch_done":
+                        done[w] = (msg[1], msg[2])
+                        del pending[w]
+                if pending:
+                    # Serve the globally earliest shared access: keys are
+                    # (tick_cycle, sm_id) and each worker's keys are
+                    # monotonic, so the minimum pending key is safe.
+                    w = min(pending, key=lambda k: (pending[k][1], pending[k][2]))
+                    conns[w].send(_serve_access(hierarchy, pending.pop(w)))
+
+            global_end = max(end for _, end in done.values())
+            for w in range(num_shards):
+                conns[w].send(("resume", global_end + 1.0))
+
+            parts = [RunResult.from_dict(done[w][0]) for w in range(num_shards)]
+            # The workers' local L2/DRAM were never touched; substitute the
+            # coordinator's authoritative deltas (merge reads them from the
+            # first shard's slot).
+            parts[0].l2_stats = subtract_stats(hierarchy.l2.stats, l2_before)
+            parts[0].dram_accesses = hierarchy.dram.accesses - dram_before
+            merged_results.append(merge_shard_results(parts, num_shards))
+
+        for w in range(num_shards):
+            tag = conns[w].recv()
+            if tag[0] == "error":  # pragma: no cover - post-launch failure
+                raise ShardError(f"shard {w} failed:\n{tag[1]}")
+        return merged_results
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5.0)

@@ -11,6 +11,7 @@ Observers can subscribe to access/evict events; the reuse-distance profiler
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -185,6 +186,15 @@ class Cache:
             for line in lines:
                 line.valid = False
                 line.tag = -1
+
+    def next_event_time(self, now: float) -> float:
+        """Always ``inf``: the tag array is passive.
+
+        A cache only changes state when *accessed*; it never spontaneously
+        wakes anything.  Defined so the cache is a uniform member of the
+        device-wide ``next_event_time`` protocol (see :mod:`repro.gpu.clock`).
+        """
+        return math.inf
 
     def occupancy(self) -> float:
         total = self.config.sets * self.config.ways

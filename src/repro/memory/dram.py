@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 
 class DRAMModel:
     """Single-channel DRAM with a fixed minimum latency.
@@ -17,6 +19,9 @@ class DRAMModel:
         self._next_free = 0.0
         self.accesses = 0
         self.busy_cycles = 0.0
+        #: Cumulative cycles requests spent waiting for the channel (the
+        #: ``start - now`` queueing component of every access).
+        self.queue_cycles = 0.0
 
     def access(self, now: float) -> float:
         """Completion time of a request arriving at ``now``."""
@@ -24,9 +29,45 @@ class DRAMModel:
         self._next_free = start + self.service_interval
         self.accesses += 1
         self.busy_cycles += self.service_interval
+        self.queue_cycles += start - now
         return start + self.latency
 
-    @property
-    def queue_delay_estimate(self) -> float:
-        """Mean service occupancy (diagnostics only)."""
-        return self.busy_cycles / self.accesses if self.accesses else 0.0
+    def queue_delay(self, now: float) -> float:
+        """Instantaneous backlog: how long a request arriving *now* waits.
+
+        Clamped at zero so a clock that just jumped past ``_next_free``
+        (skip-clock boundaries) never reports a negative — or stale
+        positive — delay computed from an out-of-date ``now``.
+        """
+        return max(0.0, self._next_free - now)
+
+    def queue_delay_estimate(self, now: float | None = None) -> float:
+        """Mean queueing delay per access (diagnostics).
+
+        Historically this was ``busy_cycles / accesses`` — the mean
+        *service occupancy*, which silently mixed service time into the
+        "queue delay" it claimed to report and, worse, was read at skip
+        boundaries where the caller's ``now`` had already jumped past the
+        backlog it implied.  It now reports the true mean queueing wait
+        (``queue_cycles / accesses``); pass ``now`` to fold in the current
+        live backlog via :meth:`queue_delay` so estimates taken mid-run
+        are consistent with the clock position.
+        """
+        if not self.accesses:
+            return 0.0 if now is None else self.queue_delay(now)
+        mean = self.queue_cycles / self.accesses
+        if now is None:
+            return mean
+        # A probe right after a burst must not under-report: the live
+        # backlog is a floor on what the next request will actually wait.
+        return max(mean, self.queue_delay(now))
+
+    def next_event_time(self, now: float) -> float:
+        """Next channel-free time after ``now`` (inf when already idle).
+
+        Diagnostic member of the device-wide ``next_event_time`` protocol:
+        channel frees change future access *latencies*, never issue
+        *eligibility*, so the skip clock does not heap them (see
+        :mod:`repro.gpu.clock`).
+        """
+        return self._next_free if self._next_free > now else math.inf

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 from ..config import CacheConfig
@@ -30,6 +31,8 @@ class BankedL2:
         self.latency = latency
         self.service_interval = service_interval
         self._bank_next_free: List[float] = [0.0] * num_banks
+        #: Cumulative cycles requests spent queued behind busy banks.
+        self.queue_cycles = 0.0
 
     def bank_of(self, line_addr: int) -> int:
         return (line_addr // self.cache.config.line_size) % self.num_banks
@@ -43,10 +46,44 @@ class BankedL2:
         minimum latencies (120 to L2, 220 to DRAM) hold end to end.
         """
         bank = self.bank_of(req.line_addr)
-        start = max(now, self._bank_next_free[bank])
+        busy_until = self._bank_next_free[bank]
+        start = now if now >= busy_until else busy_until
         self._bank_next_free[bank] = start + self.service_interval
+        self.queue_cycles += start - now
         hit = self.cache.access(req)
         return hit, start, start + self.latency
+
+    def bank_busy_cycles(self, now: float) -> float:
+        """Total *remaining* busy cycles across banks as of ``now``.
+
+        Each bank contributes ``max(0, next_free - now)``: clamping per
+        bank guards the report against a clock that has already jumped
+        past some banks' free times (skip-clock boundaries), where the
+        old unclamped sum mixed stale negative backlogs into the total.
+        """
+        total = 0.0
+        for next_free in self._bank_next_free:
+            if next_free > now:
+                total += next_free - now
+        return total
+
+    def queue_delay(self, req_or_line, now: float) -> float:
+        """Backlog a request to this line's bank would see at ``now``."""
+        line_addr = getattr(req_or_line, "line_addr", req_or_line)
+        return max(0.0, self._bank_next_free[self.bank_of(line_addr)] - now)
+
+    def next_event_time(self, now: float) -> float:
+        """Earliest bank-free time after ``now`` (inf when all idle).
+
+        Diagnostic member of the device-wide ``next_event_time`` protocol;
+        bank frees shape future access latencies, not issue eligibility,
+        so the skip clock never heaps them (see :mod:`repro.gpu.clock`).
+        """
+        earliest = math.inf
+        for next_free in self._bank_next_free:
+            if now < next_free < earliest:
+                earliest = next_free
+        return earliest
 
     @property
     def stats(self):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Dict, Optional
 
 
@@ -69,6 +70,16 @@ class MSHRFile:
         if len(self._inflight) < self._entries:
             return now
         return self._completions[0][0] if self._completions else now
+
+    def next_event_time(self, now: float) -> float:
+        """Next in-flight fill completion after ``now`` (inf when idle).
+
+        Unlike :meth:`next_free_time` this reports the completion event
+        itself rather than the capacity condition, making the MSHR file a
+        uniform member of the device's ``next_event_time`` protocol.
+        """
+        self._purge(now)
+        return self._completions[0][0] if self._completions else math.inf
 
     def register(self, line_addr: int, completion: float) -> None:
         self._inflight[line_addr] = completion

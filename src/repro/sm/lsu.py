@@ -9,6 +9,7 @@ criticality.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -54,6 +55,15 @@ class LoadStoreUnit:
         self.global_accesses = 0
         self.line_accesses = 0
         self.l1_misses = 0
+
+    def next_event_time(self, now: float) -> float:
+        """When the LSU port drains (``inf`` when already free).
+
+        The port becoming free can unblock a warp whose next instruction is
+        a memory op, so this *is* a real wake source — the owning SM folds it
+        into its own ``next_event_time`` (see :meth:`repro.sm.sm.SM.next_wake_time`).
+        """
+        return self._next_free if self._next_free > now else math.inf
 
     def coalesce(self, addrs: np.ndarray, mask: int) -> List[int]:
         """Distinct line addresses touched by the active lanes, ascending."""

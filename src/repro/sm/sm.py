@@ -470,6 +470,20 @@ class StreamingMultiprocessor:
                     wake = t
         return wake
 
+    def next_event_time(self, now: float = 0.0) -> float:
+        """Uniform next-event hook (see ``docs/timing_model.md``).
+
+        For an SM the next event is the earliest cycle a resident warp
+        could issue: scoreboard completions, MSHR frees for pooled
+        memory-gated warps, and (implicitly) barrier releases and block
+        commits, which only ever happen during one of this SM's own
+        issues.  May *under*-estimate (MSHR-reserve gating, scheduler
+        refusal) — the skip clock re-ticks one cycle later — but never
+        over-estimates, which is the invariant the cycle/skip parity grid
+        enforces.
+        """
+        return self.next_wake_time(now)
+
     def _next_wake_scan(self, now: float) -> float:
         """Reference implementation: scan every resident warp."""
         wake = math.inf

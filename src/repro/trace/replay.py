@@ -159,12 +159,30 @@ def replay_program(
     needs no workload rebuild (and performs no functional verification —
     there are no computed values to verify).  ``observers`` join each SM's
     ``issue_observers``; ``l1_observers`` join each L1D's observer list.
+
+    With ``config.shards > 1`` the launches are replayed by the sharded
+    multi-process engine (:mod:`repro.gpu.sharded`): SMs are partitioned
+    across worker processes synchronizing at every shared L2/DRAM
+    interaction, bit-identical to the serial replay.  Live observers
+    cannot cross process boundaries and raise :class:`ConfigError` there.
     """
     from ..gpu import GPU  # local: avoid a gpu <-> trace import cycle
 
     cfg = config or GPUConfig.default_sim()
     if cfg.frontend != "trace":
         cfg = cfg.with_frontend("trace")
+    if cfg.shards > 1:
+        from ..errors import ConfigError
+        from ..gpu.sharded import replay_program_sharded
+
+        if observers or l1_observers:
+            raise ConfigError(
+                "sharded replay (shards > 1) cannot attach live observers: "
+                "they cannot cross process boundaries; run with shards=1"
+            )
+        return replay_program_sharded(
+            program, cfg, scheme=scheme, oracle=oracle, max_cycles=max_cycles
+        )
     gpu = GPU(cfg, oracle=oracle, max_cycles=max_cycles, trace=program)
     for observer in observers or ():
         for sm in gpu.sms:

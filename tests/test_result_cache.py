@@ -76,6 +76,30 @@ class TestKeyInvalidation:
         cfg = GPUConfig.default_sim()
         assert cfg.fingerprint() == cfg.with_issue_core("scan").fingerprint()
 
+    def test_clock_and_shards_do_not_change_fingerprint(self):
+        # Both knobs are timing-transparent (bit-identical results), so
+        # all clock/shard combinations must share one cache entry.
+        cfg = GPUConfig.default_sim()
+        assert cfg.fingerprint() == cfg.with_clock("skip").fingerprint()
+        sharded = cfg.with_frontend("trace").with_shards(4)
+        assert cfg.fingerprint() == sharded.fingerprint()
+
+    def test_cycle_entry_served_for_skip_request(self):
+        # A result simulated under clock='cycle' must satisfy a later
+        # clock='skip' request without re-simulating (and vice versa).
+        cfg = GPUConfig.default_sim()
+        first = run_scheme(WL, "rr", scale=SCALE, config=cfg)
+        entries = list(result_cache.cache_dir().glob("*.json"))
+        assert len(entries) == 1
+        runner.clear_cache()  # memory only; the disk entry survives
+        second = run_scheme(WL, "rr", scale=SCALE,
+                            config=cfg.with_clock("skip"))
+        # Same entry count (no new simulation stored) and a disk-shaped
+        # result (BlockSummary blocks) prove the cache hit.
+        assert len(list(result_cache.cache_dir().glob("*.json"))) == 1
+        assert isinstance(second.blocks[0], BlockSummary)
+        assert _metrics(second) == _metrics(first)
+
     def test_version_changes_key(self, monkeypatch):
         key = result_cache.cache_key(WL, "rr", 1.0, "abc")
         monkeypatch.setattr(result_cache, "__version__", "999.0.0")
