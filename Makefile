@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all test-slow lint bench profile sweep clean-cache
+.PHONY: test test-all test-slow lint bench profile sweep viz clean-cache
 
 ## Tier-1 suite: fast correctness tests (excludes `slow`-marked suites).
 test:
@@ -45,6 +45,13 @@ profile-compare:
 ## Full workload x scheme IPC sweep.
 sweep:
 	PYTHONPATH=src $(PYTHON) -m repro sweep
+
+## Record the reference cell and export a Perfetto-loadable Chrome trace
+## (override the cell: make viz ARGS="kmeans gto").  Open the resulting
+## .trace.json at https://ui.perfetto.dev ; see docs/observability.md.
+viz:
+	PYTHONPATH=src $(PYTHON) -m repro events export --format chrome $(ARGS)
+	PYTHONPATH=src $(PYTHON) -m repro events stats $(ARGS)
 
 ## Drop the persistent result cache.
 clean-cache:

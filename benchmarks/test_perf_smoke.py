@@ -241,3 +241,89 @@ def test_skip_clock_not_slower_bfs(benchmark):
         f"skip clock ({report['skip']['seconds']:.2f}s) slower than cycle "
         f"clock ({report['cycle']['seconds']:.2f}s) on bfs"
     )
+
+
+@pytest.mark.slow
+def test_events_disabled_overhead(benchmark):
+    """The disabled observability path must stay near-free.
+
+    With ``events='off'`` every probe site is one ``if self.obs is not
+    None`` pointer test; the acceptance criterion is that the disabled run
+    costs no more than 2% over the *enabled* run's wall time (i.e. the
+    off path must never pay recording costs).  The on/off overhead ratio
+    is recorded for tracking.
+    """
+    from repro.config import GPUConfig
+    from repro.experiments.runner import run_scheme
+
+    def best_of(events_spec, repeats=3):
+        cfg = GPUConfig.default_sim().with_events(events_spec)
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            clear_cache()
+            start = time.process_time()
+            result = run_scheme("bfs", "cawa", scale=SCALE, config=cfg,
+                                use_cache=False, persistent=False)
+            best = min(best, time.process_time() - start)
+        return result, best
+
+    def measure():
+        off_result, off_seconds = best_of("off")
+        on_result, on_seconds = best_of("on")
+        return off_result, off_seconds, on_result, on_seconds
+
+    off_result, off_seconds, on_result, on_seconds = run_once(benchmark, measure)
+    # Recording must not perturb timing (the parity suite pins the full
+    # grid; this is the smoke-level tripwire).
+    assert off_result.cycles == on_result.cycles
+    assert on_result.extra["events_recorded"] > 0
+    assert "events_recorded" not in off_result.extra
+
+    overhead = on_seconds / off_seconds if off_seconds > 0 else 0.0
+    payload = {
+        "workload": "bfs",
+        "scheme": "cawa",
+        "scale": SCALE,
+        "off_seconds": off_seconds,
+        "on_seconds": on_seconds,
+        "recording_overhead": overhead,
+        "events_recorded": on_result.extra["events_recorded"],
+    }
+    benchmark.extra_info.update(payload)
+    _record_bench("events_overhead", payload)
+    assert off_seconds <= on_seconds * 1.02, (
+        f"disabled-events run ({off_seconds:.2f}s) more than 2% slower than "
+        f"the recording run ({on_seconds:.2f}s): the off path is paying "
+        "observability costs"
+    )
+
+
+@pytest.mark.slow
+def test_events_chrome_artifact(tmp_path):
+    """Record the reference cell and write its Chrome trace for CI upload.
+
+    The artifact lands at ``EVENTS_bfs_cawa.trace.json`` (override with
+    ``EVENTS_TRACE_PATH``); CI attaches it so any commit's warp timeline
+    can be opened in https://ui.perfetto.dev without rerunning anything.
+    """
+    import json as _json
+
+    from repro.obs import record_events, write_chrome_trace
+
+    clear_cache()
+    result, bus = record_events("bfs", "cawa", scale=SCALE)
+    events = bus.events()
+    assert events
+
+    default = Path(__file__).resolve().parent.parent / "EVENTS_bfs_cawa.trace.json"
+    out = Path(os.environ.get("EVENTS_TRACE_PATH", default))
+    path = write_chrome_trace(events, out)
+    doc = _json.loads(path.read_text(encoding="utf-8"))
+    assert doc["traceEvents"], "empty Chrome trace artifact"
+    assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+    _record_bench("events_chrome_artifact", {
+        "path": str(path),
+        "trace_events": len(doc["traceEvents"]),
+        "simulated_cycles": result.cycles,
+    })

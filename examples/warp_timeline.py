@@ -7,10 +7,16 @@ per-warp activity strip.  The slow warp's lonely tail beyond its siblings
 IS the warp-criticality problem; comparing schemes shows how scheduling
 reshapes each warp's activity.
 
+The profiler rides the observability event bus (``repro.obs``): attach it
+with ``bus.attach(profiler)`` and pass the bus to the GPU — the same
+stream also feeds ``repro events export --format chrome`` for a Perfetto
+view of the identical run (see docs/observability.md).
+
 Run:  python examples/warp_timeline.py
 """
 
 from repro import GPU, GPUConfig, apply_scheme
+from repro.obs import bus_from_spec
 from repro.stats.timeline import (
     TimelineProfiler,
     critical_tail_cycles,
@@ -20,10 +26,10 @@ from repro.workloads import make_workload
 
 
 def run(scheme: str):
-    gpu = GPU(apply_scheme(GPUConfig.default_sim(), scheme))
+    bus = bus_from_spec("on")
     profiler = TimelineProfiler()
-    for sm in gpu.sms:
-        sm.issue_observers.append(profiler)
+    bus.attach(profiler)
+    gpu = GPU(apply_scheme(GPUConfig.default_sim(), scheme), obs=bus)
     make_workload("synthetic_imbalance", max_trips=96).run(gpu, scheme=scheme)
     return profiler
 

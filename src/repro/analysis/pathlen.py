@@ -304,9 +304,11 @@ CPLBoundsError` immediately, turning silent criticality-accounting drift
         inst: "Instruction",
         diverged: bool,
         all_taken: bool,
+        now: float = 0.0,
     ) -> None:
         before = warp.cpl_inst_disparity
-        super().on_branch(warp, inst, diverged=diverged, all_taken=all_taken)
+        super().on_branch(warp, inst, diverged=diverged, all_taken=all_taken,
+                          now=now)
         if inst.pred is None or inst.reconv_pc < 0:
             return
         delta = warp.cpl_inst_disparity - before

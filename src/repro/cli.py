@@ -12,6 +12,10 @@ Usage (``python -m repro <command>``)::
     python -m repro trace record --workload bfs
     python -m repro trace replay --workload bfs --scheme cawa
     python -m repro trace info
+    python -m repro events record bfs cawa
+    python -m repro events stats bfs cawa
+    python -m repro events export --format chrome bfs cawa
+    python -m repro events schema --check
 """
 
 from __future__ import annotations
@@ -98,6 +102,17 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _print_stall_columns(top) -> None:
+    """Top stall reasons as aligned columns (% of total warp-cycles)."""
+    if not top:
+        return
+    header = "".join(f"{name:>18}" for name, _c, _s in top)
+    cells = "".join(f"{share:>17.1%} " for _n, _c, share in top)
+    print("\ntop stall reasons (% of warp-cycles):")
+    print(header)
+    print(cells)
+
+
 def cmd_profile(args) -> int:
     from .experiments import profiling
 
@@ -121,6 +136,7 @@ def cmd_profile(args) -> int:
                 )
             print(f"{clocks[-1]}-clock speedup over {clocks[0]}: "
                   f"{report['speedup']['wall']:.2f}x")
+            _print_stall_columns(report.get("stalls"))
             components = sorted(
                 {c for clock in clocks for c in report[clock]["components"]}
             )
@@ -147,6 +163,7 @@ def cmd_profile(args) -> int:
                     f"{row['cycles_per_second']:>12,.0f} cycles/s"
                 )
             print(f"event-core speedup: {report['event_speedup']['wall']:.2f}x")
+            _print_stall_columns(report.get("stalls"))
             return 0
         print(f"unknown --compare spec {args.compare!r}; "
               "use 'core' or 'clock=cycle,skip'")
@@ -261,6 +278,152 @@ def cmd_trace(args) -> int:
     print(format_table(
         ["file", "workload", "scale", "trace_id", "records", "scheme"], rows
     ))
+    return 0
+
+
+def _events_load_or_record(args, config: GPUConfig):
+    """Shared ``events stats``/``events export`` front half.
+
+    Returns ``(events, meta)``: a stored recording for this exact
+    (workload, scheme, scale, config-fingerprint) cell when one exists,
+    else a fresh recording (stored for next time unless ``--no-store``).
+    """
+    from .core.cawa import apply_scheme
+    from .obs import harness, store
+
+    cfg = apply_scheme(config, args.scheme)
+    key = store.event_key(args.workload, args.scheme, args.scale,
+                          cfg.fingerprint())
+    path = store.event_path(key)
+    if path.exists() and not getattr(args, "force", False):
+        return store.load_events(path)
+
+    result, bus = harness.record_events(
+        args.workload, args.scheme, scale=args.scale, config=config,
+    )
+    events = bus.events()
+    meta = {
+        "workload": args.workload,
+        "scheme": args.scheme,
+        "scale": args.scale,
+        "cycles": result.cycles,
+        "frontend": result.frontend,
+        "fingerprint": cfg.fingerprint(),
+    }
+    if not getattr(args, "no_store", False):
+        store.save_events(path, events, meta)
+    return events, meta
+
+
+def cmd_events(args) -> int:
+    """Record, summarize, export, or describe observability event streams."""
+    import json
+
+    from .obs import (
+        StallAccounting,
+        chrome_trace,
+        events_csv,
+        kind_counts,
+        schema_table,
+        validate_schema,
+        write_chrome_trace,
+    )
+
+    if args.events_command == "schema":
+        if args.check:
+            validate_schema()
+            print("events schema OK")
+            return 0
+        from .obs import SCHEMA_VERSION
+
+        print(f"event schema v{SCHEMA_VERSION} "
+              f"(common fields: kind, cycle, sm)")
+        for name, code, fields in schema_table():
+            print(f"  {code:>3}  {name:<16} {', '.join(fields)}")
+        return 0
+
+    config = _base_config(args)
+
+    if args.events_command == "record":
+        from .obs import harness, store
+        from .core.cawa import apply_scheme
+
+        result, bus = harness.record_events(
+            args.workload, args.scheme, scale=args.scale, config=config,
+        )
+        events = bus.events()
+        cfg = apply_scheme(config, args.scheme)
+        key = store.event_key(args.workload, args.scheme, args.scale,
+                              cfg.fingerprint())
+        path = store.event_path(key)
+        if not args.no_store:
+            store.save_events(path, events, {
+                "workload": args.workload,
+                "scheme": args.scheme,
+                "scale": args.scale,
+                "cycles": result.cycles,
+                "frontend": result.frontend,
+                "fingerprint": cfg.fingerprint(),
+            })
+        print(result.summary())
+        print(f"recorded {len(events)} events"
+              + ("" if args.no_store else f" -> {path}"))
+        for name, count in kind_counts(events).items():
+            print(f"  {name:<16} {count}")
+        return 0
+
+    if args.events_command == "stats":
+        events, meta = _events_load_or_record(args, config)
+        acct = StallAccounting().extend(events)
+        if args.format == "json":
+            payload = acct.to_dict()
+            payload["kind_counts"] = kind_counts(events)
+            payload["meta"] = {k: v for k, v in meta.items()}
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"{args.workload} / {args.scheme}: {len(events)} events")
+        print(acct.format_table())
+        key, breakdown = acct.critical_warp()
+        cells = "  ".join(f"{n}={c:.0f}" for n, c in sorted(
+            breakdown.items(), key=lambda kv: (-kv[1], kv[0])))
+        print(f"critical warp sm{key[0]} b{key[1]}/w{key[2]}: {cells}")
+        return 0
+
+    if args.events_command == "export":
+        events, _meta = _events_load_or_record(args, config)
+        out = args.output
+        if args.format == "chrome":
+            out = out or f"{args.workload}-{args.scheme}.trace.json"
+            path = write_chrome_trace(events, out)
+            doc = chrome_trace(events)
+            print(f"wrote {len(doc['traceEvents'])} trace events -> {path}")
+            print("open in https://ui.perfetto.dev ('Open trace file')")
+            return 0
+        if args.format == "csv":
+            text = events_csv(events)
+        else:  # json: raw event tuples + field names
+            from .obs import event_to_dict
+
+            text = "\n".join(
+                json.dumps(event_to_dict(ev), sort_keys=True) for ev in events
+            ) + "\n"
+        if out:
+            with open(out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {len(events)} events -> {out}")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    # info: list stored recordings.
+    from .obs import store
+
+    entries = store.list_events()
+    if not entries:
+        print(f"no event recordings under {store.events_dir()}")
+        return 0
+    for key, path in entries:
+        print(f"{key:<48} {path}")
     return 0
 
 
@@ -380,6 +543,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_trep.add_argument("--fermi", action="store_true")
     trace_sub.add_parser("info", help="list stored traces and their headers")
 
+    p_events = sub.add_parser(
+        "events",
+        help="record, summarize, and export observability event streams "
+        "(see docs/observability.md)",
+    )
+    events_sub = p_events.add_subparsers(dest="events_command", required=True)
+
+    def _events_run_args(p, positional=True):
+        if positional:
+            p.add_argument("workload",
+                           choices=workload_names(include_synthetic=True))
+            p.add_argument("scheme", nargs="?", default="rr",
+                           choices=sorted(SCHEMES))
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--fermi", action="store_true")
+
+    p_erec = events_sub.add_parser(
+        "record", help="run one cell with the event bus on and store the stream"
+    )
+    _events_run_args(p_erec)
+    p_erec.add_argument("--no-store", action="store_true",
+                        help="print the summary without persisting the stream")
+    p_estat = events_sub.add_parser(
+        "stats", help="per-reason stall breakdown (Fig 2c-style) for one cell"
+    )
+    _events_run_args(p_estat)
+    p_estat.add_argument("--format", choices=["text", "json"], default="text")
+    p_estat.add_argument("--force", action="store_true",
+                         help="re-record even if a stored stream exists")
+    p_estat.add_argument("--no-store", action="store_true")
+    p_eexp = events_sub.add_parser(
+        "export",
+        help="export a recorded stream (chrome = Perfetto-loadable JSON)",
+    )
+    _events_run_args(p_eexp)
+    p_eexp.add_argument("--format", choices=["chrome", "csv", "json"],
+                        default="chrome")
+    p_eexp.add_argument("-o", "--output", default=None,
+                        help="output path (default: <wl>-<scheme>.trace.json "
+                        "for chrome, stdout otherwise)")
+    p_eexp.add_argument("--force", action="store_true")
+    p_eexp.add_argument("--no-store", action="store_true")
+    p_esch = events_sub.add_parser(
+        "schema", help="print the event schema (field names per kind)"
+    )
+    p_esch.add_argument("--check", action="store_true",
+                        help="validate schema consistency and exit")
+    events_sub.add_parser("info", help="list stored event recordings")
+
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")
     p_fig.add_argument("number", type=int)
     p_fig.add_argument("--scale", type=float, default=1.0)
@@ -402,6 +614,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tables": cmd_tables,
         "lint": cmd_lint,
         "trace": cmd_trace,
+        "events": cmd_events,
     }
     return handlers[args.command](args)
 

@@ -170,6 +170,15 @@ class GPUConfig:
     #: observational — scheduling stays bit-identical — and therefore, like
     #: ``issue_core``/``frontend``, excluded from :meth:`fingerprint`.
     check_cpl_bounds: bool = False
+    #: Observability event recording (:mod:`repro.obs`): ``"off"``
+    #: (default, every probe reduced to one pointer test), ``"on"`` (ring
+    #: buffer with the default capacity), ``"ring:N"`` (drop-oldest ring of
+    #: N events) or ``"spill:N"`` (unbounded recording, zlib-spilled in
+    #: N-event chunks under ``.repro_cache/events/spill/``).  Collectors
+    #: never perturb timing (``tests/test_obs_parity.py``), so — like
+    #: ``clock``/``shards`` — the spec is excluded from :meth:`fingerprint`.
+    #: See ``docs/observability.md``.
+    events: str = "off"
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0:
@@ -204,6 +213,12 @@ class GPUConfig:
                 "the execute frontend mutates global memory and cannot be "
                 "partitioned across worker processes"
             )
+        # Validate the events spec through the one shared parser (local
+        # import: repro.obs.bus is a leaf, but keeping it out of module
+        # scope avoids ordering constraints during package init).
+        from .obs.bus import parse_spec
+
+        parse_spec(self.events)
 
     @classmethod
     def fermi_gtx480(cls, **overrides) -> "GPUConfig":
@@ -273,6 +288,10 @@ class GPUConfig:
         """Return a copy replaying across ``shards`` worker processes."""
         return replace(self, shards=shards)
 
+    def with_events(self, events: str) -> "GPUConfig":
+        """Return a copy with observability event recording spec ``events``."""
+        return replace(self, events=events)
+
     def fingerprint(self) -> str:
         """Stable short hash of every timing-relevant parameter.
 
@@ -290,6 +309,7 @@ class GPUConfig:
         payload.pop("check_cpl_bounds", None)
         payload.pop("clock", None)
         payload.pop("shards", None)
+        payload.pop("events", None)
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 

@@ -31,7 +31,11 @@ from typing import List, Tuple
 
 from ..memory.replacement import RRPV_MAX, RRPV_NEAR, ReplacementPolicy
 from ..memory.request import MemRequest
+from ..obs.events import Ev
 from .ccbp import CriticalCacheBlockPredictor
+
+_EV_CACP_INSERT = int(Ev.CACP_INSERT)
+_EV_CACP_PROMOTE = int(Ev.CACP_PROMOTE)
 
 #: Insertion RRPV for critical-classified lines (closer than SHiP's "long").
 RRPV_PROTECTED = 1
@@ -105,6 +109,8 @@ class CACPPolicy(ReplacementPolicy):
         self._partition_hits = [0, 0]  # [critical partition, non-critical]
         self._tune_interval = 1024
         self._accesses_since_tune = 0
+        #: Event bus (``repro.obs``) or ``None``; set by ``wire_sms``.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Fill classification and routing (CacheFill in Algorithm 4)
@@ -172,12 +178,18 @@ class CACPPolicy(ReplacementPolicy):
         line.signature = req.signature
         line.c_reuse = False
         line.nc_reuse = False
+        if self.obs is not None:
+            self.obs.emit((_EV_CACP_INSERT, req.cycle, req.warp_key[0],
+                           req.signature, 1 if critical else 0, line.rrpv))
 
     # ------------------------------------------------------------------
     # CacheHit in Algorithm 4
     # ------------------------------------------------------------------
     def on_hit(self, line, req: MemRequest) -> None:
         line.rrpv = RRPV_NEAR  # promotion position in both partitions
+        if self.obs is not None:
+            self.obs.emit((_EV_CACP_PROMOTE, req.cycle, req.warp_key[0],
+                           line.signature, 1 if req.is_critical else 0))
         if req.is_critical:
             line.c_reuse = True
             self.ccbp.train_critical_reuse(line.signature)

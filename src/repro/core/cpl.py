@@ -28,7 +28,10 @@ import math
 from typing import Dict, List, Optional
 
 from ..isa.instructions import Instruction
+from ..obs.events import Ev
 from ..simt.warp import Warp
+
+_EV_CPL_DELTA = int(Ev.CPL_DELTA)
 
 
 class CriticalityPredictor:
@@ -40,6 +43,11 @@ class CriticalityPredictor:
         self.update_period = update_period
         self._block_threshold: Dict[int, float] = {}
         self._block_issue_count: Dict[int, int] = {}
+        #: Event bus (``repro.obs``) or ``None``; set by ``wire_sms``.
+        self.obs = None
+        #: SM id stamped on emitted :data:`~repro.obs.events.Ev.CPL_DELTA`
+        #: records (the predictor itself is per-SM but does not know it).
+        self.obs_owner = -1
 
     # ------------------------------------------------------------------
     # Counter updates
@@ -50,13 +58,15 @@ class CriticalityPredictor:
         inst: Instruction,
         diverged: bool,
         all_taken: bool,
+        now: float = 0.0,
     ) -> None:
         """Account the inferred path length of a resolved conditional branch.
 
         ``all_taken`` is only meaningful for uniform branches.  Path sizes
         are derived from static PCs exactly as Algorithm 2 infers them:
         fall-through path = [pc+1, target), taken path = [target, reconv),
-        divergent = both.
+        divergent = both.  ``now`` stamps the emitted CPL_DELTA event and
+        has no effect on the counter itself.
         """
         if inst.pred is None or inst.reconv_pc < 0:
             return  # unconditional back edge: no disparity information
@@ -70,6 +80,10 @@ class CriticalityPredictor:
             delta = fallthrough_len
         warp.cpl_inst_disparity += delta
         self._refresh(warp)
+        if self.obs is not None:
+            self.obs.emit((_EV_CPL_DELTA, now, self.obs_owner,
+                           warp.block.block_id, warp.warp_id_in_block,
+                           delta, warp.criticality))
 
     def on_issue(self, warp: Warp, stall_cycles: float) -> None:
         """Per-issue update: commit-decrement plus observed stall latency."""

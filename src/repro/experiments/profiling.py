@@ -71,6 +71,28 @@ def throughput(
     }
 
 
+def stall_breakdown(
+    workload: str,
+    scheme: str,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    n: int = 3,
+):
+    """Top-``n`` stall reasons for one cell as ``(name, cycles, share)``.
+
+    One events-on run through :func:`repro.obs.harness.record_stalls`;
+    ``share`` is the fraction of total warp-cycles (issue + all stalls),
+    the paper's Fig 2c denominator.  Stall attribution is identical across
+    issue cores, device clocks, and shard counts (the event stream is part
+    of the bit-identical timing contract), so one recording serves every
+    column of a comparison.
+    """
+    from ..obs.harness import record_stalls
+
+    _result, acct = record_stalls(workload, scheme, scale=scale, config=config)
+    return acct.top_reasons(n)
+
+
 def compare_cores(
     workload: str,
     scheme: str,
@@ -78,12 +100,14 @@ def compare_cores(
     config: Optional[GPUConfig] = None,
     repeats: int = 3,
 ) -> Dict[str, Dict[str, float]]:
-    """Measure both issue cores on one cell; adds an ``event_speedup`` key."""
+    """Measure both issue cores on one cell; adds an ``event_speedup`` key
+    and the cell's top-3 stall reasons (``"stalls"``)."""
     event = throughput(workload, scheme, scale, config, "event", repeats)
     scan = throughput(workload, scheme, scale, config, "scan", repeats)
     speedup = (scan["seconds"] / event["seconds"]) if event["seconds"] > 0 else 0.0
     return {"event": event, "scan": scan,
-            "event_speedup": {"wall": speedup}}
+            "event_speedup": {"wall": speedup},
+            "stalls": stall_breakdown(workload, scheme, scale, config)}
 
 
 def _component_of(filename: str) -> str:
@@ -155,6 +179,7 @@ def compare_clocks(
     first_s = report[first]["throughput"]["seconds"]
     last_s = report[last]["throughput"]["seconds"]
     report["speedup"] = {"wall": first_s / last_s if last_s > 0 else 0.0}
+    report["stalls"] = stall_breakdown(workload, scheme, scale, base)
     return report
 
 

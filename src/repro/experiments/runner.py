@@ -98,11 +98,15 @@ def run_scheme(
     """
     key = (workload, scheme, scale, with_accuracy, with_reuse,
            tuple(sorted(workload_kwargs.items())))
-    cacheable = use_cache and not workload_kwargs and observers is None
+    base = config or GPUConfig.default_sim()
+    # Event recording (config.events != "off") is excluded from the config
+    # fingerprint — a cached result could not carry the recorded stream —
+    # so recording runs bypass both cache layers entirely.
+    cacheable = (use_cache and not workload_kwargs and observers is None
+                 and base.events == "off")
     if cacheable and key in _CACHE:
         return _CACHE[key]
 
-    base = config or GPUConfig.default_sim()
     if shards > 1:
         # Frontend first: config validation rejects shards > 1 off-trace.
         if base.frontend != "trace":

@@ -59,6 +59,7 @@ class GPU:
         oracle: Optional[dict] = None,
         max_cycles: float = 5e7,
         trace=None,
+        obs=None,
     ) -> None:
         self.config = config or GPUConfig.default_sim()
         self.memory = GlobalMemory()
@@ -118,6 +119,20 @@ class GPU:
                     cpl=cpl,
                 )
             )
+        #: Observability event bus (:mod:`repro.obs`), or ``None`` when
+        #: ``config.events == "off"``.  An explicit ``obs=`` argument wins
+        #: (callers attach collectors before launch); otherwise the GPU
+        #: builds one from the config spec, so CLI/runner paths get event
+        #: recording just by setting ``events=...``.
+        if obs is None and self.config.events != "off":
+            from ..obs.bus import bus_from_spec  # local: keep GPU import light
+
+            obs = bus_from_spec(self.config.events)
+        self.obs = obs
+        if obs is not None:
+            from ..obs.bus import wire_gpu
+
+            wire_gpu(self, obs)
 
     # ------------------------------------------------------------------
     def _scheduler_factory(self):
@@ -212,6 +227,7 @@ class GPU:
         dispatcher = BlockDispatcher(kernel, grid_dim, block_dim, self.config.warp_size)
         start_cycle = self.now
         snapshots = self._snapshot_stats()
+        events_before = self.obs.emitted if self.obs is not None else 0
         dispatcher.try_dispatch(self.sms, start_cycle)
 
         # Block commits are reported by the SMs via a callback flag, so the
@@ -231,7 +247,10 @@ class GPU:
                 sm.on_commit = None
 
         self.now = cycle + 1
-        return self._collect(kernel.name, scheme, cycle - start_cycle, snapshots)
+        result = self._collect(kernel.name, scheme, cycle - start_cycle, snapshots)
+        if self.obs is not None:
+            result.extra["events_recorded"] = self.obs.emitted - events_before
+        return result
 
     # ------------------------------------------------------------------
     # Run loops (see module docstring; bit-identical by contract)
@@ -408,6 +427,7 @@ class GPU:
             warp_size=self.config.warp_size,
             clock=self.config.clock,
             shards=self.config.shards,
+            events=self.config.events,
             cycles_skipped=self._launch_cycles_skipped,
             skip_jumps=self._launch_skip_jumps,
         )

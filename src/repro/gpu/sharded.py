@@ -126,7 +126,7 @@ class _SharedMemoryClient:
             )
         )
         completion = self._conn.recv()
-        mshr.register(req.line_addr, completion)
+        mshr.register(req.line_addr, completion, now=now)
         return AccessOutcome(l1_hit=False, completion=completion)
 
 
@@ -225,9 +225,28 @@ def _worker_main(gpu, shard_idx: int, num_shards: int, scheme: str, conn) -> Non
         proxy = _SharedMemoryClient(conn)
         for sm in owned:
             sm.lsu.hierarchy = proxy
+        if gpu.obs is not None:
+            # Every worker dispatches the full grid over its device copy, so
+            # foreign SMs would emit duplicate WARP_START events.  Unwire obs
+            # from every SM this shard does not own: only owned SMs' events
+            # reach the worker's (forked, independent) event buffer.
+            owned_ids = {sm.sm_id for sm in owned}
+            for sm in gpu.sms:
+                if sm.sm_id in owned_ids:
+                    continue
+                sm.obs = None
+                sm.lsu.obs = None
+                sm.l1d.obs = None
+                sm.mshr.obs = None
+                if sm.cpl is not None:
+                    sm.cpl.obs = None
+                policy = sm.l1d.policy
+                if getattr(policy, "name", "") == "cacp":
+                    policy.obs = None
         for launch in gpu.trace_program.launches:
             result, end_cycle = _worker_run_launch(gpu, launch, owned, scheme, proxy)
-            conn.send(("launch_done", result.to_dict(), end_cycle))
+            events = gpu.obs.drain() if gpu.obs is not None else None
+            conn.send(("launch_done", result.to_dict(), end_cycle, events))
             tag, global_now = conn.recv()
             assert tag == "resume"
             gpu.now = global_now
@@ -285,7 +304,7 @@ def _serve_access(hierarchy: MemoryHierarchy, msg) -> float:
     l2_hit, queued_start, l2_ready = hierarchy.l2.access(req, start)
     if l2_hit:
         return l2_ready
-    return hierarchy.dram.access(queued_start)
+    return hierarchy.dram.access(queued_start, sm_id)
 
 
 def replay_program_sharded(
@@ -294,12 +313,23 @@ def replay_program_sharded(
     scheme: str = "",
     oracle: Optional[dict] = None,
     max_cycles: float = 5e7,
+    bus=None,
 ) -> List[RunResult]:
     """Replay ``program`` across ``config.shards`` worker processes.
 
     Returns one merged :class:`RunResult` per launch, bit-identical to a
     serial :func:`~repro.trace.replay.replay_program` of the same config
     (``tests/test_sharded_replay.py`` enforces this).
+
+    Events (``config.events != "off"`` or an explicit ``bus``): each forked
+    worker records its owned SMs' events into its own (inherited,
+    independent) buffer and ships the drained stream back with each
+    ``launch_done`` message; the coordinator records the shared-L2/DRAM
+    events itself, merges every stream into the canonical
+    ``(cycle, sm, kind, fields)`` order with
+    :func:`~repro.obs.collect.merge_event_streams`, and ingests the result
+    into the caller-visible bus — byte-identical across shard counts
+    (``tests/test_obs_sharded.py``).
     """
     from .gpu import GPU  # local: avoid import cycle at module load
 
@@ -314,8 +344,21 @@ def replay_program_sharded(
     # Template device, built once pre-fork: every worker inherits an
     # identical copy (copy-on-write), so per-shard construction order,
     # RNG-free policies, and trace bindings all match the serial run.
-    gpu = GPU(config, oracle=oracle, max_cycles=max_cycles, trace=program)
+    gpu = GPU(config, oracle=oracle, max_cycles=max_cycles, trace=program,
+              obs=bus)
+    bus = gpu.obs  # result-facing bus (explicit, auto-built, or None)
     hierarchy = MemoryHierarchy(config)  # coordinator's authoritative L2+DRAM
+    coord_bus = None
+    if bus is not None:
+        # The coordinator's own recording of shared-side events (L2 banks,
+        # L2 tag array, DRAM).  Kept separate from the result bus so worker
+        # streams and coordinator stream can be merged canonically before
+        # any attached collector sees a single event.
+        from ..obs.bus import bus_from_spec, wire_hierarchy
+
+        spec = config.events if config.events != "off" else "on"
+        coord_bus = bus_from_spec(spec)
+        wire_hierarchy(hierarchy, coord_bus)
 
     ctx = multiprocessing.get_context("fork")
     conns = []
@@ -352,7 +395,7 @@ def replay_program_sharded(
                         pending[w] = msg
                 for w, msg in list(pending.items()):
                     if msg[0] == "launch_done":
-                        done[w] = (msg[1], msg[2])
+                        done[w] = (msg[1], msg[2], msg[3] if len(msg) > 3 else None)
                         del pending[w]
                 if pending:
                     # Serve the globally earliest shared access: keys are
@@ -361,7 +404,7 @@ def replay_program_sharded(
                     w = min(pending, key=lambda k: (pending[k][1], pending[k][2]))
                     conns[w].send(_serve_access(hierarchy, pending.pop(w)))
 
-            global_end = max(end for _, end in done.values())
+            global_end = max(end for _, end, _ in done.values())
             for w in range(num_shards):
                 conns[w].send(("resume", global_end + 1.0))
 
@@ -371,7 +414,18 @@ def replay_program_sharded(
             # first shard's slot).
             parts[0].l2_stats = subtract_stats(hierarchy.l2.stats, l2_before)
             parts[0].dram_accesses = hierarchy.dram.accesses - dram_before
-            merged_results.append(merge_shard_results(parts, num_shards))
+            merged = merge_shard_results(parts, num_shards)
+            if bus is not None:
+                from ..obs.collect import merge_event_streams
+
+                streams = [done[w][2] for w in range(num_shards) if done[w][2]]
+                coord_events = coord_bus.drain()
+                if coord_events:
+                    streams.append(coord_events)
+                merged_events = merge_event_streams(streams)
+                bus.ingest(merged_events)
+                merged.extra["events_recorded"] = len(merged_events)
+            merged_results.append(merged)
 
         for w in range(num_shards):
             tag = conns[w].recv()

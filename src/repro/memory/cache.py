@@ -16,8 +16,15 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..config import CacheConfig
+from ..obs.events import Ev
 from .replacement import ReplacementPolicy
 from .request import MemRequest
+
+_EV_CACHE_HIT = int(Ev.CACHE_HIT)
+_EV_CACHE_MISS = int(Ev.CACHE_MISS)
+_EV_CACHE_FILL = int(Ev.CACHE_FILL)
+_EV_CACHE_EVICT = int(Ev.CACHE_EVICT)
+_EV_CACHE_BYPASS = int(Ev.CACHE_BYPASS)
 
 
 @dataclass
@@ -111,6 +118,13 @@ class Cache:
         ]
         self.stats = CacheStats()
         self.observers: List = []
+        #: Event bus (``repro.obs``) or ``None``; set by the wire helpers.
+        self.obs = None
+        #: ``LEVEL_L1D`` (0) or ``LEVEL_L2`` (1) stamped on emitted records.
+        self.obs_level = 0
+        #: SM id stamped on records, or -1 to derive it from the request's
+        #: ``warp_key`` (shared caches serve every SM).
+        self.obs_owner = -1
 
     # ------------------------------------------------------------------
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
@@ -142,6 +156,14 @@ class Cache:
                 self.policy.on_hit(line, req)
                 for obs in self.observers:
                     obs.on_access(req, hit=True, line=line)
+                if self.obs is not None:
+                    owner = self.obs_owner
+                    self.obs.emit((
+                        _EV_CACHE_HIT, req.cycle,
+                        owner if owner >= 0 else req.warp_key[0],
+                        self.obs_level, req.pc, req.line_addr,
+                        1 if req.is_critical else 0,
+                    ))
                 return True
 
         self.stats.misses += 1
@@ -149,10 +171,25 @@ class Cache:
             # Bypass: the request is serviced from L2/DRAM without
             # allocating a line, so it cannot evict useful data.
             self.stats.bypasses += 1
+            if self.obs is not None:
+                owner = self.obs_owner
+                self.obs.emit((
+                    _EV_CACHE_BYPASS, req.cycle,
+                    owner if owner >= 0 else req.warp_key[0],
+                    self.obs_level, req.line_addr,
+                ))
         else:
             self._fill(lines, req)
         for obs in self.observers:
             obs.on_access(req, hit=False, line=None)
+        if self.obs is not None:
+            owner = self.obs_owner
+            self.obs.emit((
+                _EV_CACHE_MISS, req.cycle,
+                owner if owner >= 0 else req.warp_key[0],
+                self.obs_level, req.pc, req.line_addr,
+                1 if req.is_critical else 0,
+            ))
         return False
 
     def _fill(self, lines: List[CacheLine], req: MemRequest) -> None:
@@ -167,6 +204,13 @@ class Cache:
         boundary = getattr(self.policy, "critical_ways", self.config.critical_ways)
         line.in_critical_partition = way < boundary
         self.policy.on_fill(line, req)
+        if self.obs is not None:
+            owner = self.obs_owner
+            self.obs.emit((
+                _EV_CACHE_FILL, req.cycle,
+                owner if owner >= 0 else req.warp_key[0],
+                self.obs_level, req.line_addr, 1 if req.is_critical else 0,
+            ))
 
     def _evict(self, line: CacheLine, req: MemRequest) -> None:
         self.stats.evictions += 1
@@ -179,6 +223,14 @@ class Cache:
         self.policy.on_evict(line, req)
         for obs in self.observers:
             obs.on_evict(line)
+        if self.obs is not None:
+            owner = self.obs_owner
+            self.obs.emit((
+                _EV_CACHE_EVICT, req.cycle,
+                owner if owner >= 0 else req.warp_key[0],
+                self.obs_level, line.line_addr,
+                1 if line.reuse_count > 0 else 0,
+            ))
 
     def invalidate_all(self) -> None:
         """Drop all lines (used between kernel launches in tests)."""

@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import math
 
+from ..obs.events import Ev
+
+_EV_DRAM_ENQ = int(Ev.DRAM_ENQ)
+_EV_DRAM_SERVICE = int(Ev.DRAM_SERVICE)
+
 
 class DRAMModel:
     """Single-channel DRAM with a fixed minimum latency.
@@ -22,14 +27,24 @@ class DRAMModel:
         #: Cumulative cycles requests spent waiting for the channel (the
         #: ``start - now`` queueing component of every access).
         self.queue_cycles = 0.0
+        #: Event bus (``repro.obs``) or ``None``; set by ``wire_hierarchy``.
+        self.obs = None
 
-    def access(self, now: float) -> float:
-        """Completion time of a request arriving at ``now``."""
+    def access(self, now: float, sm_id: int = -1) -> float:
+        """Completion time of a request arriving at ``now``.
+
+        ``sm_id`` only stamps emitted DRAM events (the channel itself is
+        device-level); timing is independent of it.
+        """
         start = max(now, self._next_free)
         self._next_free = start + self.service_interval
         self.accesses += 1
         self.busy_cycles += self.service_interval
         self.queue_cycles += start - now
+        if self.obs is not None:
+            self.obs.emit((_EV_DRAM_ENQ, now, sm_id, start - now))
+            self.obs.emit((_EV_DRAM_SERVICE, start, sm_id,
+                           start + self.latency))
         return start + self.latency
 
     def queue_delay(self, now: float) -> float:

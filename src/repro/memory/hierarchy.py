@@ -63,6 +63,7 @@ class MemoryHierarchy:
 
         start = mshr.earliest_start(now) + l1_latency
         l2_hit, queued_start, l2_ready = self.l2.access(req, start)
-        completion = l2_ready if l2_hit else self.dram.access(queued_start)
-        mshr.register(req.line_addr, completion)
+        completion = (l2_ready if l2_hit
+                      else self.dram.access(queued_start, req.warp_key[0]))
+        mshr.register(req.line_addr, completion, now=now)
         return AccessOutcome(l1_hit=False, completion=completion)

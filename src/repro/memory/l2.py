@@ -6,9 +6,12 @@ import math
 from typing import List
 
 from ..config import CacheConfig
+from ..obs.events import Ev
 from .cache import Cache
 from .replacement import make_policy
 from .request import MemRequest
+
+_EV_L2_BANK = int(Ev.L2_BANK)
 
 
 class BankedL2:
@@ -33,6 +36,8 @@ class BankedL2:
         self._bank_next_free: List[float] = [0.0] * num_banks
         #: Cumulative cycles requests spent queued behind busy banks.
         self.queue_cycles = 0.0
+        #: Event bus (``repro.obs``) or ``None``; set by ``wire_hierarchy``.
+        self.obs = None
 
     def bank_of(self, line_addr: int) -> int:
         return (line_addr // self.cache.config.line_size) % self.num_banks
@@ -51,6 +56,9 @@ class BankedL2:
         self._bank_next_free[bank] = start + self.service_interval
         self.queue_cycles += start - now
         hit = self.cache.access(req)
+        if self.obs is not None:
+            self.obs.emit((_EV_L2_BANK, now, req.warp_key[0], bank,
+                           1 if hit else 0, start - now))
         return hit, start, start + self.latency
 
     def bank_busy_cycles(self, now: float) -> float:

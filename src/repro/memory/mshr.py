@@ -6,6 +6,12 @@ import heapq
 import math
 from typing import Dict, Optional
 
+from ..obs.events import Ev
+
+_EV_MSHR_ALLOC = int(Ev.MSHR_ALLOC)
+_EV_MSHR_MERGE = int(Ev.MSHR_MERGE)
+_EV_MSHR_FULL = int(Ev.MSHR_FULL)
+
 
 class MSHRFile:
     """Tracks in-flight line fills for one cache.
@@ -24,6 +30,10 @@ class MSHRFile:
         self._completions: list = []  # heap of (completion, line_addr)
         self.merged_misses = 0
         self.stall_inducing_misses = 0
+        #: Event bus (``repro.obs``) or ``None``; set by ``wire_sms``.
+        self.obs = None
+        #: Owning SM id stamped on emitted MSHR records.
+        self.obs_owner = -1
 
     def _purge(self, now: float) -> None:
         while self._completions and self._completions[0][0] <= now:
@@ -38,6 +48,9 @@ class MSHRFile:
         completion = self._inflight.get(line_addr)
         if completion is not None:
             self.merged_misses += 1
+            if self.obs is not None:
+                self.obs.emit((_EV_MSHR_MERGE, now, self.obs_owner,
+                               line_addr, completion))
         return completion
 
     def earliest_start(self, now: float) -> float:
@@ -46,7 +59,11 @@ class MSHRFile:
         if len(self._inflight) < self._entries:
             return now
         self.stall_inducing_misses += 1
-        return self._completions[0][0] if self._completions else now
+        free_at = self._completions[0][0] if self._completions else now
+        if self.obs is not None:
+            self.obs.emit((_EV_MSHR_FULL, now, self.obs_owner,
+                           len(self._inflight), free_at))
+        return free_at
 
     def free_entries(self, now: float) -> int:
         """Number of unoccupied MSHR entries at ``now``."""
@@ -81,9 +98,13 @@ class MSHRFile:
         self._purge(now)
         return self._completions[0][0] if self._completions else math.inf
 
-    def register(self, line_addr: int, completion: float) -> None:
+    def register(self, line_addr: int, completion: float,
+                 now: float = 0.0) -> None:
         self._inflight[line_addr] = completion
         heapq.heappush(self._completions, (completion, line_addr))
+        if self.obs is not None:
+            self.obs.emit((_EV_MSHR_ALLOC, now, self.obs_owner,
+                           line_addr, completion, len(self._inflight)))
 
     @property
     def outstanding(self) -> int:

@@ -1,0 +1,70 @@
+"""``repro.obs`` — the structured observability subsystem.
+
+A typed, versioned event schema (:mod:`~repro.obs.events`), a
+near-zero-cost probe/event bus (:mod:`~repro.obs.bus`), bounded
+collectors with deterministic sharded merging (:mod:`~repro.obs.collect`),
+per-warp stall attribution (:mod:`~repro.obs.stalls`), a persistent store
+(:mod:`~repro.obs.store`), and Chrome-trace / CSV exporters
+(:mod:`~repro.obs.export`).  See ``docs/observability.md``.
+
+Only the leaf modules are imported eagerly — the recording harness
+(:func:`record_events`, :func:`record_stalls`) pulls in the GPU and the
+experiment runner, so it is exposed via module ``__getattr__`` instead.
+"""
+
+from __future__ import annotations
+
+from .bus import EventBus, bus_from_spec, parse_spec, wire_gpu, wire_hierarchy, wire_sms
+from .collect import RingCollector, merge_event_streams, sort_events
+from .events import (
+    EVENT_FIELDS,
+    SCHEMA_VERSION,
+    STALL_NAMES,
+    Ev,
+    SchemaError,
+    Stall,
+    event_to_dict,
+    schema_table,
+    validate_events,
+    validate_schema,
+)
+from .export import chrome_trace, events_csv, kind_counts, write_chrome_trace
+from .stalls import StallAccounting, format_top_reasons
+
+__all__ = [
+    "Ev",
+    "Stall",
+    "SchemaError",
+    "SCHEMA_VERSION",
+    "STALL_NAMES",
+    "EVENT_FIELDS",
+    "validate_events",
+    "validate_schema",
+    "event_to_dict",
+    "schema_table",
+    "EventBus",
+    "bus_from_spec",
+    "parse_spec",
+    "wire_gpu",
+    "wire_sms",
+    "wire_hierarchy",
+    "RingCollector",
+    "sort_events",
+    "merge_event_streams",
+    "StallAccounting",
+    "format_top_reasons",
+    "chrome_trace",
+    "write_chrome_trace",
+    "events_csv",
+    "kind_counts",
+    "record_events",
+    "record_stalls",
+]
+
+
+def __getattr__(name: str):
+    if name in ("record_events", "record_stalls"):
+        from . import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,103 @@
+"""One-call event recording: run a (workload, scheme) cell with a bus.
+
+:func:`record_events` is the programmatic counterpart of ``repro events
+record``: it builds an events-enabled config, attaches any caller
+collectors *before* launch, runs the cell under whichever frontend /
+clock / shards the config selects, and hands back ``(result, bus)``.
+
+Kept in its own module (and exported lazily from ``repro.obs``) because
+it imports the GPU and the experiment runner — far too heavy for the
+``repro.obs`` leaf modules that the simulator hot paths import.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..config import GPUConfig
+from .bus import EventBus, bus_from_spec
+from .stalls import StallAccounting
+
+
+def record_events(
+    workload: str,
+    scheme: str,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    collectors: Iterable = (),
+    check: bool = True,
+) -> Tuple[object, EventBus]:
+    """Run one cell with the event bus live; return ``(result, bus)``.
+
+    If ``config`` has ``events == "off"`` it is upgraded to ``"on"`` —
+    asking to record with events disabled is never what the caller meant.
+    Works under both frontends, both clocks, and ``shards > 1`` (the
+    coordinator feeds the merged worker streams back through this bus).
+    """
+    from ..core.cawa import apply_scheme
+    from ..experiments.runner import build_oracle
+    from ..gpu import GPU
+    from ..workloads import make_workload
+
+    base = config or GPUConfig.default_sim()
+    if base.events == "off":
+        base = base.with_events("on")
+    cfg = apply_scheme(base, scheme)
+
+    bus = bus_from_spec(cfg.events)
+    assert bus is not None  # events != "off" by construction
+    for collector in collectors:
+        bus.attach(collector)
+
+    oracle = (build_oracle(workload, scale, config)
+              if cfg.scheduler_name == "caws" else None)
+
+    if cfg.frontend == "trace":
+        from .. import trace as trace_mod
+        from ..experiments.runner import run_scheme
+
+        program = trace_mod.load_program(workload, scale, cfg, None)
+        if program is None:
+            # Record the trace once through the standard runner path
+            # (events off: the recording run's stream would be the
+            # execute frontend's, not the replay we are about to time).
+            run_scheme(
+                workload, scheme, scale=scale,
+                config=base.with_events("off").with_shards(1),
+                check=check, use_cache=False, persistent=False,
+            )
+            program = trace_mod.load_program(workload, scale, cfg, None)
+        if program is None:  # pragma: no cover - store failure
+            raise RuntimeError(
+                f"could not record a trace for {workload!r} at scale {scale}"
+            )
+        results = trace_mod.replay_program(
+            program, cfg, scheme=scheme, oracle=oracle, bus=bus
+        )
+        return results[-1], bus
+
+    gpu = GPU(cfg, oracle=oracle, obs=bus)
+    wl = make_workload(workload, scale=scale)
+    result = wl.run(gpu, scheme=scheme, check=check)
+    return result, bus
+
+
+def record_stalls(
+    workload: str,
+    scheme: str,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    check: bool = True,
+) -> Tuple[object, StallAccounting]:
+    """Convenience wrapper: record with a stall aggregator attached.
+
+    Returns ``(result, stall_accounting)`` — the Fig 2c breakdown for one
+    cell in a single call (used by ``repro profile --compare``'s stall
+    columns and ``repro events stats``).
+    """
+    stalls = StallAccounting()
+    result, _bus = record_events(
+        workload, scheme, scale=scale, config=config,
+        collectors=(stalls,), check=check,
+    )
+    return result, stalls

@@ -1,0 +1,130 @@
+"""Persistent event-stream store under ``.repro_cache/events/``.
+
+Recorded event streams are artifacts like traces: zlib-compressed JSON
+envelopes with a format marker, schema version, and provenance metadata
+(workload, scheme, config fingerprint, event count).  ``repro events
+record`` writes them; ``repro events stats|export`` read them back, so
+an expensive run is recorded once and analyzed many times.
+
+Layout::
+
+    .repro_cache/events/
+        <workload>-<scheme>-<scale>-<fingerprint12>.evt.z   saved streams
+        spill/                                              RingCollector spill chunks
+
+All imports of :func:`repro.experiments.result_cache.cache_dir` are lazy
+(inside functions): ``result_cache`` does ``from .. import __version__``,
+which is only defined at the *end* of ``repro/__init__``, so importing it
+at module scope from a package-init-reachable module would cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .events import SCHEMA_VERSION, validate_events
+
+#: Subdirectory of the repro cache holding event artifacts.
+EVENTS_SUBDIR = "events"
+#: On-disk format marker.
+FORMAT = "repro-events"
+#: Bump on envelope (not schema) changes.
+FORMAT_VERSION = 1
+#: File suffix for saved streams.
+SUFFIX = ".evt.z"
+
+
+class EventStoreError(ReproError):
+    """A saved event stream is missing, corrupt, or incompatible."""
+
+
+def events_dir() -> Path:
+    """Root directory for event artifacts (created on demand)."""
+    from ..experiments.result_cache import cache_dir  # lazy: import cycle
+
+    path = cache_dir() / EVENTS_SUBDIR
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def spill_dir() -> Path:
+    """Directory for :class:`~repro.obs.collect.RingCollector` spill chunks."""
+    path = events_dir() / "spill"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def event_key(workload: str, scheme: str, scale: float,
+              fingerprint: str) -> str:
+    """Stable artifact key: workload x scheme x scale x config fingerprint."""
+    scale_tag = f"{scale:g}".replace(".", "p")
+    return f"{workload}-{scheme}-{scale_tag}-{fingerprint[:12]}"
+
+
+def event_path(key: str) -> Path:
+    return events_dir() / f"{key}{SUFFIX}"
+
+
+def save_events(path: Path, events: Iterable[Sequence],
+                meta: Optional[Dict[str, object]] = None) -> Path:
+    """Write an event stream (validated against the schema) to ``path``."""
+    records = [list(ev) for ev in events]
+    validate_events(records)
+    envelope = {
+        "format": FORMAT,
+        "version": FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "count": len(records),
+        "events": records,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(envelope, sort_keys=True).encode("utf-8")
+    path.write_bytes(zlib.compress(payload, level=6))
+    return path
+
+
+def load_events(path: Path) -> Tuple[List[tuple], Dict[str, object]]:
+    """Read ``(events, meta)`` back; validates format, version, schema."""
+    path = Path(path)
+    if not path.exists():
+        raise EventStoreError(f"no event stream at {path}")
+    try:
+        envelope = json.loads(zlib.decompress(path.read_bytes()))
+    except (zlib.error, ValueError) as exc:
+        raise EventStoreError(f"corrupt event stream {path}: {exc}") from exc
+    if envelope.get("format") != FORMAT:
+        raise EventStoreError(
+            f"{path} is not a {FORMAT} artifact "
+            f"(format={envelope.get('format')!r})"
+        )
+    if envelope.get("version") != FORMAT_VERSION:
+        raise EventStoreError(
+            f"{path} has envelope version {envelope.get('version')!r}, "
+            f"this build reads {FORMAT_VERSION}"
+        )
+    if envelope.get("schema_version") != SCHEMA_VERSION:
+        raise EventStoreError(
+            f"{path} uses event schema v{envelope.get('schema_version')!r}, "
+            f"this build speaks v{SCHEMA_VERSION}"
+        )
+    events = [tuple(ev) for ev in envelope.get("events", [])]
+    validate_events(events)
+    return events, dict(envelope.get("meta", {}))
+
+
+def list_events() -> List[Tuple[str, Path]]:
+    """``(key, path)`` for every saved stream, sorted by key."""
+    root = events_dir()
+    out = [
+        (p.name[: -len(SUFFIX)], p)
+        for p in root.glob(f"*{SUFFIX}")
+        if p.is_file()
+    ]
+    out.sort()
+    return out

@@ -74,6 +74,13 @@ class Warp:
         self.mem_stall_cycles: float = 0.0
         self.sched_stall_cycles: float = 0.0
         self.pending_loads: int = 0
+        #: Cycle this warp was last released from a block barrier, or -1.0.
+        #: Written only when the event bus is live (see
+        #: :meth:`repro.sm.sm.StreamingMultiprocessor._release_barrier`);
+        #: consumed-and-reset by the issue-time stall decomposition so the
+        #: barrier wait is attributed to the BARRIER bucket, not the
+        #: operand-dependence ones.
+        self.obs_barrier_release: float = -1.0
 
         # -- scheduling cache (invalidated by this warp's own issues) ---
         self._sched_cache_version: int = -1

@@ -19,8 +19,11 @@ from ..memory.cache import Cache
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.mshr import MSHRFile
 from ..memory.request import MemRequest, make_signature
+from ..obs.events import Ev
 from ..simt.mask import bools_from_mask
 from ..simt.warp import Warp
+
+_EV_LSU_ISSUE = int(Ev.LSU_ISSUE)
 
 
 def coalesce_lines(addrs: np.ndarray, mask: int, line_size: int) -> List[int]:
@@ -51,6 +54,8 @@ class LoadStoreUnit:
         self.hierarchy = hierarchy
         self.shared_latency = shared_latency
         self._next_free = 0.0
+        #: Event bus (``repro.obs``) or ``None``; set by ``wire_sms``.
+        self.obs = None
         # Statistics.
         self.global_accesses = 0
         self.line_accesses = 0
@@ -114,4 +119,9 @@ class LoadStoreUnit:
             if outcome.completion > completion:
                 completion = outcome.completion
         self._next_free = start + len(lines)
+        if self.obs is not None:
+            self.obs.emit((
+                _EV_LSU_ISSUE, now, self.sm_id, warp.block.block_id,
+                warp.warp_id_in_block, inst.pc, len(lines), completion,
+            ))
         return completion, len(lines)

@@ -39,12 +39,24 @@ from ..isa.instructions import FuncUnit, Opcode
 from ..memory.cache import Cache
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.mshr import MSHRFile
+from ..obs.events import Ev, Stall
 from ..scheduling.base import WarpScheduler
 from ..simt.block import ThreadBlock
 from ..simt.executor import FunctionalExecutor
 from ..simt.mask import popcount
 from ..simt.warp import Warp, WarpStatus
 from .lsu import LoadStoreUnit
+
+# Pre-bound ints for the per-issue probe sites (IntEnum attribute access
+# costs a dict lookup; the issue path runs once per instruction).
+_EV_WARP_START = int(Ev.WARP_START)
+_EV_WARP_ISSUE = int(Ev.WARP_ISSUE)
+_EV_WARP_STALL = int(Ev.WARP_STALL)
+_EV_WARP_FINISH = int(Ev.WARP_FINISH)
+_ST_SCOREBOARD = int(Stall.SCOREBOARD_DEP)
+_ST_NO_SLOT = int(Stall.NO_SLOT)
+_ST_MEM_PENDING = int(Stall.MEM_PENDING)
+_ST_BARRIER = int(Stall.BARRIER)
 
 
 @dataclass
@@ -91,6 +103,10 @@ class StreamingMultiprocessor:
         self._regs_in_use = 0
         #: Observers notified of issue events (used by Fig 12's priority trace).
         self.issue_observers: List = []
+        #: Event bus (``repro.obs``), or ``None`` when events are disabled.
+        #: The entire disabled-path cost is one ``is not None`` test per
+        #: probe site — see ``docs/observability.md``.
+        self.obs = None
         #: Warp constructor; the trace-replay frontend swaps in a factory
         #: building :class:`~repro.trace.replay.TraceWarp` objects that
         #: follow recorded streams (set per launch by the GPU).
@@ -156,6 +172,10 @@ class StreamingMultiprocessor:
             block.warps.append(warp)
             self.warps.append(warp)
             self._unfinished += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    (_EV_WARP_START, now, self.sm_id, block.block_id, w)
+                )
             self.schedulers[warp.dynamic_id % len(self.schedulers)].notify_warp_added(warp)
             if self._event_core:
                 self._enqueue(warp)
@@ -179,9 +199,14 @@ class StreamingMultiprocessor:
         slot = warp.dynamic_id % len(self.schedulers)
         heapq.heappush(self._wake_heaps[slot], (wake, warp.dynamic_id, warp))
 
-    def _release_barrier(self, block: ThreadBlock) -> None:
+    def _release_barrier(self, block: ThreadBlock, now: float) -> None:
         """Release ``block``'s barrier and re-queue the released warps."""
         released = block.barrier_release()
+        if self.obs is not None:
+            # Stamp the release cycle so the issue-time stall decomposition
+            # can attribute the parked interval to the BARRIER bucket.
+            for warp in released:
+                warp.obs_barrier_release = now
         if self._event_core:
             for warp in released:
                 self._enqueue(warp)
@@ -332,6 +357,37 @@ class StreamingMultiprocessor:
         if limited_by_load:
             warp.mem_stall_cycles += data_stall
 
+        obs = self.obs
+        if obs is not None:
+            # Decompose the gap [base, now) into reason-attributed slices:
+            # barrier wait (up to the recorded release), operand wait
+            # (mem-pending vs scoreboard), and lost-slot wait.  The slices
+            # are disjoint and sum to ``gap``, so StallAccounting's
+            # accounting identity (issue + stalls == lifetime) holds.
+            emit = obs.emit
+            bid = warp.block.block_id
+            wid = warp.warp_id_in_block
+            cursor = base
+            release = warp.obs_barrier_release
+            if release >= 0.0:
+                warp.obs_barrier_release = -1.0
+                bar_end = release if release < now else now
+                if bar_end > cursor:
+                    emit((_EV_WARP_STALL, now, self.sm_id, bid, wid,
+                          _ST_BARRIER, bar_end - cursor, cursor))
+                    cursor = bar_end
+            data_end = ready if ready < now else now
+            if data_end > cursor:
+                reason = _ST_MEM_PENDING if limited_by_load else _ST_SCOREBOARD
+                emit((_EV_WARP_STALL, now, self.sm_id, bid, wid,
+                      reason, data_end - cursor, cursor))
+                cursor = data_end
+            if now > cursor:
+                emit((_EV_WARP_STALL, now, self.sm_id, bid, wid,
+                      _ST_NO_SLOT, now - cursor, cursor))
+            emit((_EV_WARP_ISSUE, now, self.sm_id, bid, wid, pc,
+                  inst.op.value))
+
         if self.cpl is not None:
             # Only data stalls (memory latency, dependency hazards) feed the
             # criticality counter.  Counting scheduler-induced wait (ready
@@ -352,7 +408,7 @@ class StreamingMultiprocessor:
         # ---- timing + control state -----------------------------------
         op = inst.op
         if op is Opcode.BRA:
-            self._resolve_branch(warp, inst, result.taken_mask, active)
+            self._resolve_branch(warp, inst, result.taken_mask, active, now)
             self.stats.branches += 1
         elif op in (Opcode.LD, Opcode.ST):
             self._mshr_touched = True
@@ -371,7 +427,7 @@ class StreamingMultiprocessor:
             self.stats.barriers += 1
             warp.stack.advance(pc + 1)
             if warp.block.barrier_arrive(warp):
-                self._release_barrier(warp.block)
+                self._release_barrier(warp.block, now)
         elif op is Opcode.EXIT:
             warp.stack.kill_lanes(active)
             if warp.stack.empty:
@@ -399,7 +455,8 @@ class StreamingMultiprocessor:
         for obs in self.issue_observers:
             obs.on_issue(self, warp, inst, now)
 
-    def _resolve_branch(self, warp: Warp, inst, taken_mask: int, active: int) -> None:
+    def _resolve_branch(self, warp: Warp, inst, taken_mask: int, active: int,
+                        now: float) -> None:
         pc = inst.pc
         if inst.pred is None:
             warp.stack.advance(inst.target_pc)
@@ -420,15 +477,19 @@ class StreamingMultiprocessor:
             self.stats.divergent_branches += 1
             diverged, all_taken = True, False
         if self.cpl is not None:
-            self.cpl.on_branch(warp, inst, diverged=diverged, all_taken=all_taken)
+            self.cpl.on_branch(warp, inst, diverged=diverged,
+                               all_taken=all_taken, now=now)
 
     def _finish_warp(self, warp: Warp, scheduler: WarpScheduler, now: float) -> None:
         warp.mark_finished(now)
         self._unfinished -= 1
+        if self.obs is not None:
+            self.obs.emit((_EV_WARP_FINISH, now, self.sm_id,
+                           warp.block.block_id, warp.warp_id_in_block))
         scheduler.notify_warp_finished(warp)
         block = warp.block
         if block.barrier_pending_release:
-            self._release_barrier(block)
+            self._release_barrier(block, now)
         if block.done:
             self._commit_block(block)
 

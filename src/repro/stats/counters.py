@@ -155,6 +155,11 @@ class RunResult:
     #: excluded from parity comparisons.
     cycles_skipped: float = 0.0
     skip_jumps: int = 0
+    #: Provenance: the observability events spec this run was produced
+    #: under (``"off"`` unless the event bus was live).  Collectors never
+    #: perturb timing, so — like ``clock``/``shards`` — this is excluded
+    #: from parity comparisons and the result-cache fingerprint.
+    events: str = "off"
 
     @property
     def ipc(self) -> float:
@@ -230,6 +235,7 @@ class RunResult:
             "shards": self.shards,
             "cycles_skipped": self.cycles_skipped,
             "skip_jumps": self.skip_jumps,
+            "events": self.events,
             "blocks": [dataclasses.asdict(b) for b in blocks],
             "extra": {k: v for k, v in self.extra.items() if _jsonable(v)},
         }
@@ -265,6 +271,7 @@ class RunResult:
             shards=data.get("shards", 1),
             cycles_skipped=data.get("cycles_skipped", 0.0),
             skip_jumps=data.get("skip_jumps", 0),
+            events=data.get("events", "off"),
         )
 
 
@@ -313,6 +320,7 @@ def merge_shard_results(parts: List["RunResult"], shards: int) -> "RunResult":
         trace_id=head.trace_id,
         clock=head.clock,
         shards=shards,
+        events=head.events,
         cycles_skipped=sum(p.cycles_skipped for p in parts),
         skip_jumps=sum(p.skip_jumps for p in parts),
     )

@@ -1,18 +1,41 @@
 """Warp execution timeline profiling and ASCII rendering.
 
-The :class:`TimelineProfiler` subscribes to SM issue events and records
-when each warp issued instructions; :func:`render_block_timeline` draws a
-per-warp activity strip ("Gantt chart") for one thread block, which makes
-warp criticality — a slow warp's lonely tail after its siblings finish —
-directly visible in a terminal.
+The :class:`TimelineProfiler` records when each warp issued instructions;
+:func:`render_block_timeline` draws a per-warp activity strip ("Gantt
+chart") for one thread block, which makes warp criticality — a slow
+warp's lonely tail after its siblings finish — directly visible in a
+terminal.
+
+The profiler is an **event-bus collector** (see :mod:`repro.obs`): attach
+it with :meth:`repro.obs.bus.EventBus.attach` and it reconstructs every
+timeline from ``WARP_START`` / ``WARP_ISSUE`` / ``WARP_FINISH`` events::
+
+    bus = bus_from_spec("on")
+    profiler = TimelineProfiler()
+    bus.attach(profiler)
+    gpu = GPU(config, obs=bus)
+
+or feed a stored recording after the fact with :meth:`TimelineProfiler.extend`.
+The pre-``repro.obs`` direct-hook registration
+(``sm.issue_observers.append(profiler)``) still works but is deprecated —
+it only sees issue events on the SMs it was manually attached to and
+cannot work under sharded replay, where collectors ride the event bus
+across process boundaries (``docs/observability.md``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs.events import Ev
 
 WarpKey = Tuple[int, int, int]  # (sm_id, block_id, warp_id_in_block)
+
+_EV_WARP_START = int(Ev.WARP_START)
+_EV_WARP_ISSUE = int(Ev.WARP_ISSUE)
+_EV_WARP_FINISH = int(Ev.WARP_FINISH)
 
 #: Activity density glyphs, sparse to dense.
 _GLYPHS = " .:-=+*#%@"
@@ -28,12 +51,60 @@ class WarpTimeline:
 
 
 class TimelineProfiler:
-    """SM issue observer recording every warp's issue cycles."""
+    """Event-bus collector recording every warp's issue cycles.
+
+    Also still accepts the legacy SM ``issue_observers`` hook
+    (:meth:`on_issue`), with a :class:`DeprecationWarning` on first use.
+    """
 
     def __init__(self) -> None:
         self.timelines: Dict[WarpKey, WarpTimeline] = {}
+        self._warned = False
 
+    # -- event-bus collector protocol ----------------------------------
+    def append(self, ev: Sequence) -> None:
+        """Consume one event record (bus fan-out or stored stream)."""
+        kind = ev[0]
+        if kind == _EV_WARP_ISSUE:
+            key = (ev[2], ev[3], ev[4])
+            timeline = self.timelines.get(key)
+            if timeline is None:
+                timeline = WarpTimeline(start_cycle=ev[1])
+                self.timelines[key] = timeline
+            timeline.issue_cycles.append(ev[1])
+        elif kind == _EV_WARP_START:
+            key = (ev[2], ev[3], ev[4])
+            if key not in self.timelines:
+                self.timelines[key] = WarpTimeline(start_cycle=ev[1])
+        elif kind == _EV_WARP_FINISH:
+            timeline = self.timelines.get((ev[2], ev[3], ev[4]))
+            if timeline is not None:
+                timeline.finish_cycle = ev[1]
+
+    def extend(self, events: Iterable[Sequence]) -> "TimelineProfiler":
+        """Rebuild timelines from a pre-recorded event stream."""
+        for ev in events:
+            self.append(ev)
+        return self
+
+    # -- deprecated direct-hook protocol -------------------------------
     def on_issue(self, sm, warp, inst, now: float) -> None:
+        """Legacy ``sm.issue_observers`` hook.
+
+        .. deprecated::
+            Attach the profiler to an :class:`~repro.obs.bus.EventBus`
+            instead; the direct hook cannot cross process boundaries under
+            sharded replay and misses ``WARP_START`` timestamps.
+        """
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                "registering TimelineProfiler via sm.issue_observers is "
+                "deprecated; attach it to an event bus instead "
+                "(bus.attach(profiler), see docs/observability.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         key = (sm.sm_id, warp.block.block_id, warp.warp_id_in_block)
         timeline = self.timelines.get(key)
         if timeline is None:
@@ -69,10 +140,11 @@ def render_block_timeline(
 ) -> str:
     """ASCII activity strip: one row per warp, glyph = issue density."""
     warps = profiler.block_timelines(sm_id, block_id)
+    warps = {w: t for w, t in warps.items() if t.issue_cycles}
     if not warps:
         return f"(no issue samples for SM{sm_id} block {block_id})"
-    t0 = min(t.issue_cycles[0] for t in warps.values() if t.issue_cycles)
-    t1 = max(t.issue_cycles[-1] for t in warps.values() if t.issue_cycles)
+    t0 = min(t.issue_cycles[0] for t in warps.values())
+    t1 = max(t.issue_cycles[-1] for t in warps.values())
     span = max(1.0, t1 - t0)
     bucket = span / width
 

@@ -152,6 +152,7 @@ def replay_program(
     max_cycles: float = 5e7,
     observers: Optional[list] = None,
     l1_observers: Optional[list] = None,
+    bus=None,
 ):
     """Replay every launch of ``program``; returns the list of results.
 
@@ -159,12 +160,17 @@ def replay_program(
     needs no workload rebuild (and performs no functional verification —
     there are no computed values to verify).  ``observers`` join each SM's
     ``issue_observers``; ``l1_observers`` join each L1D's observer list.
+    ``bus`` is an optional :class:`repro.obs.bus.EventBus` the replay wires
+    in place of the config-built one (callers attach collectors first).
 
     With ``config.shards > 1`` the launches are replayed by the sharded
     multi-process engine (:mod:`repro.gpu.sharded`): SMs are partitioned
     across worker processes synchronizing at every shared L2/DRAM
-    interaction, bit-identical to the serial replay.  Live observers
-    cannot cross process boundaries and raise :class:`ConfigError` there.
+    interaction, bit-identical to the serial replay.  Live *issue/L1*
+    observers cannot cross process boundaries and raise
+    :class:`ConfigError` there — obs collectors are exempt, because the
+    event layer serializes per-worker buffers back through the
+    coordinator (see ``docs/observability.md``).
     """
     from ..gpu import GPU  # local: avoid a gpu <-> trace import cycle
 
@@ -176,14 +182,25 @@ def replay_program(
         from ..gpu.sharded import replay_program_sharded
 
         if observers or l1_observers:
+            blockers = sorted(
+                {type(obs).__name__
+                 for obs in list(observers or ()) + list(l1_observers or ())}
+            )
             raise ConfigError(
                 "sharded replay (shards > 1) cannot attach live observers: "
-                "they cannot cross process boundaries; run with shards=1"
+                f"{', '.join(blockers)} hold(s) Python state that cannot "
+                "cross process boundaries. Run with shards=1, or — for "
+                "event-stream analyses — attach an obs collector to an "
+                "EventBus instead: the observability layer ships per-worker "
+                "buffers back through the coordinator and merges them "
+                "deterministically (see docs/observability.md)"
             )
         return replay_program_sharded(
-            program, cfg, scheme=scheme, oracle=oracle, max_cycles=max_cycles
+            program, cfg, scheme=scheme, oracle=oracle, max_cycles=max_cycles,
+            bus=bus,
         )
-    gpu = GPU(cfg, oracle=oracle, max_cycles=max_cycles, trace=program)
+    gpu = GPU(cfg, oracle=oracle, max_cycles=max_cycles, trace=program,
+              obs=bus)
     for observer in observers or ():
         for sm in gpu.sms:
             sm.issue_observers.append(observer)

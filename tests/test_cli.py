@@ -106,3 +106,73 @@ class TestLintCommand:
         assert isinstance(payload, list) and len(payload) == 1
         assert payload[0]["kernel"]
         assert payload[0]["ok"] is True
+
+
+class TestEventsCommand:
+    """`repro events` subcommands (see docs/observability.md)."""
+
+    def test_schema_table(self, capsys):
+        assert main(["events", "schema"]) == 0
+        out = capsys.readouterr().out
+        assert "WARP_ISSUE" in out and "CACHE_MISS" in out
+        assert "kind, cycle, sm" in out
+
+    def test_schema_check(self, capsys):
+        assert main(["events", "schema", "--check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_record_and_stats(self, capsys):
+        code = main([
+            "events", "record", "synthetic_imbalance", "rr", "--scale", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "WARP_ISSUE" in out
+
+        # stats reuses the stored stream (same cache dir within this test).
+        assert main([
+            "events", "stats", "synthetic_imbalance", "rr", "--scale", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bucket" in out and "critical warp" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        code = main([
+            "events", "stats", "synthetic_imbalance", "rr", "--scale", "0.5",
+            "--format", "json", "--no-store",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["issue_cycles"] > 0
+        assert payload["kind_counts"]["WARP_ISSUE"] > 0
+        assert len(payload["top_reasons"]) <= 3
+
+    def test_export_chrome(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code = main([
+            "events", "export", "--format", "chrome",
+            "synthetic_imbalance", "rr", "--scale", "0.5",
+            "-o", str(out_path), "--no-store",
+        ])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        kinds = {e.get("ph") for e in doc["traceEvents"]}
+        assert "X" in kinds and "M" in kinds
+
+    def test_export_csv_to_stdout(self, capsys):
+        code = main([
+            "events", "export", "--format", "csv",
+            "synthetic_imbalance", "rr", "--scale", "0.5", "--no-store",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("kind,cycle,sm")
+
+    def test_info_empty(self, capsys):
+        assert main(["events", "info"]) == 0
+        assert "no event recordings" in capsys.readouterr().out
