@@ -6,8 +6,10 @@ event-vs-scan core speedup, the trace-replay-vs-execute speedup, and the
 skip-clock-vs-cycle-clock speedup, all into pytest-benchmark's
 ``extra_info`` so ``--benchmark-json`` output can be tracked across
 commits.  The skip-clock benchmarks additionally write their numbers to
-``BENCH_pr4.json`` at the repo root (override with ``BENCH_PR4_PATH``),
-which CI uploads as an artifact.
+``BENCH_pr4.json`` at the repo root (override with ``BENCH_PR4_PATH``)
+and the vector-backend benchmarks to ``BENCH_pr6.json`` (override with
+``BENCH_PR6_PATH``); CI uploads both as artifacts and fails if the
+vector backend's speedup drops below its floor.
 
 Result caches are bypassed throughout — these measure simulation (or
 trace replay), never the result cache.
@@ -34,10 +36,11 @@ SCALE = 0.5
 WIDE_SMS = 64
 
 
-def _record_bench(key, payload):
-    """Merge one benchmark's numbers into ``BENCH_pr4.json``."""
-    default = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
-    path = Path(os.environ.get("BENCH_PR4_PATH", default))
+def _record_bench(key, payload, pr="pr4"):
+    """Merge one benchmark's numbers into ``BENCH_<pr>.json`` at the repo
+    root (override the location with ``BENCH_<PR>_PATH``)."""
+    default = Path(__file__).resolve().parent.parent / f"BENCH_{pr}.json"
+    path = Path(os.environ.get(f"BENCH_{pr.upper()}_PATH", default))
     data = {}
     if path.exists():
         try:
@@ -199,6 +202,8 @@ def test_skip_clock_speedup_strcltr(benchmark):
         "num_sms": WIDE_SMS,
         "cycle_seconds": report["cycle"]["seconds"],
         "skip_seconds": report["skip"]["seconds"],
+        "cycle_cycles_per_second": report["cycle"]["cycles_per_second"],
+        "skip_cycles_per_second": report["skip"]["cycles_per_second"],
         "speedup": speedup,
         "simulated_cycles": skip_result.cycles,
         "cycles_skipped": skip_result.cycles_skipped,
@@ -230,6 +235,8 @@ def test_skip_clock_not_slower_bfs(benchmark):
         "num_sms": WIDE_SMS,
         "cycle_seconds": report["cycle"]["seconds"],
         "skip_seconds": report["skip"]["seconds"],
+        "cycle_cycles_per_second": report["cycle"]["cycles_per_second"],
+        "skip_cycles_per_second": report["skip"]["cycles_per_second"],
         "speedup": speedup,
         "simulated_cycles": skip_result.cycles,
         "cycles_skipped": skip_result.cycles_skipped,
@@ -287,6 +294,12 @@ def test_events_disabled_overhead(benchmark):
         "scale": SCALE,
         "off_seconds": off_seconds,
         "on_seconds": on_seconds,
+        "off_cycles_per_second": (
+            off_result.cycles / off_seconds if off_seconds > 0 else 0.0
+        ),
+        "on_cycles_per_second": (
+            on_result.cycles / on_seconds if on_seconds > 0 else 0.0
+        ),
         "recording_overhead": overhead,
         "events_recorded": on_result.extra["events_recorded"],
     }
@@ -296,6 +309,128 @@ def test_events_disabled_overhead(benchmark):
         f"disabled-events run ({off_seconds:.2f}s) more than 2% slower than "
         f"the recording run ({on_seconds:.2f}s): the off path is paying "
         "observability costs"
+    )
+
+
+#: The vector backend's win, like the skip clock's, scales with device
+#: width (the scalar per-cycle loop pays O(SMs) per issuing cycle; the
+#: vector loop pays O(due SMs) via one numpy wake mask).  The headline
+#: cell is a wide-device, memory-stalled replay where scheduling overhead
+#: — not per-instruction issue work — dominates the scalar engine.
+VECTOR_SMS = 160
+VECTOR_WORKLOAD = "synthetic_memstress"
+VECTOR_SCALE = 64.0
+
+#: CI floor for the vector-vs-python speedup on the headline cell.  The
+#: measured result (recorded in BENCH_pr6.json) is ~5x; the gate leaves
+#: headroom for loaded CI machines.
+VECTOR_SPEEDUP_FLOOR = 3.0
+
+
+def _backend_compare(workload, scale, scheme, num_sms, repeats=2):
+    """Best-of-``repeats`` replay wall time under each backend.
+
+    Returns ``(report, python_result, vector_result)`` where ``report``
+    maps backend name to ``{"seconds", "cycles", "cycles_per_second"}``.
+    Trace replay on the per-cycle clock isolates the engines from
+    functional execution and from the skip clock's jump heuristics; CPU
+    time (``process_time``) keeps the numbers stable on loaded machines.
+    """
+    from repro import trace as trace_mod
+    from repro.config import GPUConfig
+    from repro.core.cawa import apply_scheme
+
+    clear_cache()
+    record_cfg = GPUConfig.default_sim(num_sms=num_sms)
+    _, program = trace_mod.record_workload(workload, scale=scale,
+                                           config=record_cfg, scheme=scheme)
+    base = record_cfg.with_frontend("trace")
+    report = {}
+    results = {}
+    for backend in ("python", "vector"):
+        cfg = apply_scheme(base.with_backend(backend), scheme)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.process_time()
+            result = trace_mod.replay_program(program, cfg, scheme=scheme)[-1]
+            seconds = time.process_time() - start
+            best = min(best, seconds)
+        results[backend] = result
+        report[backend] = {
+            "seconds": best,
+            "cycles": result.cycles,
+            "cycles_per_second": result.cycles / best if best > 0 else 0.0,
+        }
+    return report, results["python"], results["vector"]
+
+
+@pytest.mark.slow
+def test_vector_backend_speedup(benchmark):
+    """The PR's headline cell and CI gate for the vector backend.
+
+    Bit-identical results are the hard invariant (re-checked here on the
+    wide device); the vector engine must beat the scalar engine by at
+    least ``VECTOR_SPEEDUP_FLOOR`` wall-clock.  The measured numbers land
+    in ``BENCH_pr6.json`` for tracking across commits.
+    """
+
+    def measure():
+        return _backend_compare(VECTOR_WORKLOAD, VECTOR_SCALE, "gto",
+                                VECTOR_SMS)
+
+    report, python_result, vector_result = run_once(benchmark, measure)
+    assert python_result.cycles == vector_result.cycles
+    assert python_result.l1_stats.misses == vector_result.l1_stats.misses
+    assert python_result.dram_accesses == vector_result.dram_accesses
+    speedup = report["python"]["seconds"] / report["vector"]["seconds"]
+    payload = {
+        "workload": VECTOR_WORKLOAD,
+        "scheme": "gto",
+        "scale": VECTOR_SCALE,
+        "num_sms": VECTOR_SMS,
+        "python_seconds": report["python"]["seconds"],
+        "vector_seconds": report["vector"]["seconds"],
+        "python_cycles_per_second": report["python"]["cycles_per_second"],
+        "vector_cycles_per_second": report["vector"]["cycles_per_second"],
+        "speedup": speedup,
+        "simulated_cycles": vector_result.cycles,
+    }
+    benchmark.extra_info.update(payload)
+    _record_bench("vector_backend_memstress", payload, pr="pr6")
+    assert speedup >= VECTOR_SPEEDUP_FLOOR, (
+        f"vector backend speedup {speedup:.2f}x on {VECTOR_WORKLOAD} is "
+        f"below the {VECTOR_SPEEDUP_FLOOR}x CI floor"
+    )
+
+
+@pytest.mark.slow
+def test_vector_backend_not_slower_strcltr(benchmark):
+    """Tripwire on a second, issue-denser cell: the vector engine must
+    never lose to the scalar engine on the skip-clock headline cell."""
+
+    def measure():
+        return _backend_compare("strcltr_mid", 16.0, "gto", WIDE_SMS)
+
+    report, python_result, vector_result = run_once(benchmark, measure)
+    assert python_result.cycles == vector_result.cycles
+    speedup = report["python"]["seconds"] / report["vector"]["seconds"]
+    payload = {
+        "workload": "strcltr_mid",
+        "scheme": "gto",
+        "scale": 16.0,
+        "num_sms": WIDE_SMS,
+        "python_seconds": report["python"]["seconds"],
+        "vector_seconds": report["vector"]["seconds"],
+        "python_cycles_per_second": report["python"]["cycles_per_second"],
+        "vector_cycles_per_second": report["vector"]["cycles_per_second"],
+        "speedup": speedup,
+        "simulated_cycles": vector_result.cycles,
+    }
+    benchmark.extra_info.update(payload)
+    _record_bench("vector_backend_strcltr", payload, pr="pr6")
+    assert report["vector"]["seconds"] <= report["python"]["seconds"], (
+        f"vector backend ({report['vector']['seconds']:.2f}s) slower than "
+        f"python ({report['python']['seconds']:.2f}s) on strcltr_mid"
     )
 
 

@@ -1,0 +1,49 @@
+"""Optional numba JIT support for the vectorized backend.
+
+The vector backend (``GPUConfig.backend='vector'``, see ``docs/backends.md``)
+is numpy-first: every batched kernel has a pure-numpy implementation that is
+bit-identical to the scalar Python path.  A few of those kernels are small
+scalar loops that numba compiles well (first-match tag probes, running-max
+queue recurrences); when numba is importable they are compiled with
+``@njit``, and when it is not they silently fall back to the numpy
+implementation.  numba is therefore **never** a dependency — environments
+without it run the full suite, including the vector-backend parity grid, on
+the numpy path alone (``tests/test_vector_fallback.py`` pins this contract).
+
+Set ``REPRO_NO_NUMBA=1`` to force the numpy fallbacks even when numba is
+installed (useful for A/B-ing the two paths).
+"""
+
+from __future__ import annotations
+
+import os
+
+HAS_NUMBA = False
+_numba = None
+
+if not os.environ.get("REPRO_NO_NUMBA"):
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba as _numba  # type: ignore
+
+        HAS_NUMBA = True
+    except ImportError:
+        _numba = None
+        HAS_NUMBA = False
+
+
+def jit_or(fallback):
+    """Decorator factory: ``@njit``-compile the function, or use ``fallback``.
+
+    ``fallback`` must be a numpy (or plain Python) implementation with the
+    same signature and bit-identical results.  With numba present the
+    decorated loop body is compiled lazily on first call; without it the
+    decorated function is *replaced* by ``fallback`` so there is no
+    per-call dispatch cost.
+    """
+
+    def decorate(fn):
+        if HAS_NUMBA:  # pragma: no cover - exercised only with numba
+            return _numba.njit(cache=True)(fn)
+        return fallback
+
+    return decorate

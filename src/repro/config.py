@@ -179,6 +179,21 @@ class GPUConfig:
     #: ``clock``/``shards`` — the spec is excluded from :meth:`fingerprint`.
     #: See ``docs/observability.md``.
     events: str = "off"
+    #: Hot-path implementation: ``"python"`` (default) keeps the original
+    #: pure-Python per-warp issue loop; ``"vector"`` swaps in the
+    #: numpy-vectorized engine (:class:`repro.sm.vector.VectorSM` plus the
+    #: batched cache/L2/DRAM primitives in :mod:`repro.memory.vector`):
+    #: per-SM warp wake times live in preallocated arrays, the per-cycle
+    #: ready set is one masked ``flatnonzero`` instead of a per-warp probe
+    #: loop, tag matching and victim selection are array operations, and a
+    #: feature-detected numba ``@njit`` path (:mod:`repro._jit`) compiles
+    #: the few remaining scalar loops when numba is installed (never a
+    #: dependency — the numpy fallback is bit-identical).  Both backends
+    #: produce bit-identical results by contract
+    #: (``tests/test_vector_backend_parity.py``) and therefore, like
+    #: ``issue_core``/``clock``, the knob is excluded from
+    #: :meth:`fingerprint`.  See ``docs/backends.md``.
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0:
@@ -204,6 +219,10 @@ class GPUConfig:
         if self.clock not in ("cycle", "skip"):
             raise ConfigError(
                 f"clock must be 'cycle' or 'skip', got {self.clock!r}"
+            )
+        if self.backend not in ("python", "vector"):
+            raise ConfigError(
+                f"backend must be 'python' or 'vector', got {self.backend!r}"
             )
         if self.shards <= 0:
             raise ConfigError(f"shards must be positive, got {self.shards}")
@@ -292,6 +311,10 @@ class GPUConfig:
         """Return a copy with observability event recording spec ``events``."""
         return replace(self, events=events)
 
+    def with_backend(self, backend: str) -> "GPUConfig":
+        """Return a copy using hot-path backend ``backend`` (python/vector)."""
+        return replace(self, backend=backend)
+
     def fingerprint(self) -> str:
         """Stable short hash of every timing-relevant parameter.
 
@@ -310,6 +333,7 @@ class GPUConfig:
         payload.pop("clock", None)
         payload.pop("shards", None)
         payload.pop("events", None)
+        payload.pop("backend", None)
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 

@@ -1,0 +1,249 @@
+"""Numpy tag-array mirror and batched probes for the vector backend.
+
+The scalar :class:`~repro.memory.cache.Cache` stores its tag array as lists
+of :class:`~repro.memory.cache.CacheLine` objects; every probe is a Python
+loop over attribute reads, and every victim search is a loop (or several,
+for RRIP aging) over the same objects.  :class:`TagMirror` keeps three
+numpy arrays — tags, LRU stamps, RRPVs — in lockstep with those line
+objects so that:
+
+* tag matching is one O(1) probe of a hash *tag directory* (``index``,
+  mapping resident line address -> way) kept in lockstep with the tag
+  array — a line address determines its set, so the flat map is unambiguous;
+* LRU victim selection is an ``argmin`` over the candidate way range;
+* RRIP victim selection (SRRIP/SHiP/BRRIP/DRRIP and CACP's partitioned
+  variant) is an ``argmax`` plus a *closed-form* aging step.
+
+The line objects remain authoritative: the mirror is consulted for
+*finding* ways, and every mutation of policy state still happens on the
+line objects (then synced).  Exactness arguments, pinned bit-for-bit by
+``tests/test_vector_memory.py``:
+
+* ``valid and tag == addr``  ⇔  ``mirror.tags[set, way] == addr``, because
+  invalid lines carry ``tag == -1`` (construction, ``invalidate_all``) and
+  real line addresses are non-negative.
+* LRU: ``min(range(lo, hi), key=last_use)`` returns the *first* way with
+  the minimal stamp; ``lo + argmin(last_use[lo:hi])`` has identical
+  first-tie semantics (stamps are unique anyway — the policy clock is
+  monotone).
+* RRIP: the scalar search repeats "return first way with
+  ``rrpv >= RRPV_MAX``, else age every way in range by 1".  RRPVs never
+  exceed ``RRPV_MAX``, so the loop runs exactly ``RRPV_MAX - max(rrpv)``
+  aging passes and then returns the first way that held the maximum.  The
+  mirror applies that delta to every way in the range (mirror *and* line
+  objects) and returns ``lo + argmax`` — the same victim, the same
+  post-state.
+
+Policies with out-of-tree subclasses (anything whose exact type is not one
+of the known implementations) simply do not get a mirror; the cache then
+runs the scalar path unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .._jit import jit_or
+from .replacement import (
+    RRPV_MAX,
+    BRRIPPolicy,
+    DRRIPPolicy,
+    LRUPolicy,
+    SHiPPolicy,
+    SRRIPPolicy,
+)
+
+__all__ = ["TagMirror", "attach_mirror"]
+
+
+# ---------------------------------------------------------------------------
+# JIT-able scalar kernels with exact numpy fallbacks (see repro._jit)
+# ---------------------------------------------------------------------------
+def _find_tag_numpy(row: np.ndarray, tag: int) -> int:
+    eq = row == tag
+    return int(eq.argmax()) if eq.any() else -1
+
+
+@jit_or(_find_tag_numpy)
+def _find_tag(row, tag):  # pragma: no cover - numba-compiled variant
+    for way in range(row.shape[0]):
+        if row[way] == tag:
+            return way
+    return -1
+
+
+def _first_invalid_numpy(row: np.ndarray, lo: int, hi: int) -> int:
+    inv = row[lo:hi] == -1
+    return lo + int(inv.argmax()) if inv.any() else -1
+
+
+@jit_or(_first_invalid_numpy)
+def _first_invalid(row, lo, hi):  # pragma: no cover - numba-compiled variant
+    for way in range(lo, hi):
+        if row[way] == -1:
+            return way
+    return -1
+
+
+# ---------------------------------------------------------------------------
+class TagMirror:
+    """Numpy shadow of one cache's tags and replacement state."""
+
+    __slots__ = ("tags", "last_use", "rrpv", "index", "kind",
+                 "_num_sets", "_line_size", "_valid_count", "_ways")
+
+    #: Victim-selection families the mirror knows how to replicate.
+    KINDS = ("lru", "rrip", "cacp")
+
+    def __init__(self, cache, kind: str) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown mirror kind {kind!r}")
+        self.kind = kind
+        cfg = cache.config
+        self._num_sets = cfg.sets
+        self._line_size = cfg.line_size
+        self._ways = cfg.ways
+        self.tags = np.full((cfg.sets, cfg.ways), -1, dtype=np.int64)
+        self.last_use = np.zeros((cfg.sets, cfg.ways), dtype=np.int64)
+        self.rrpv = np.zeros((cfg.sets, cfg.ways), dtype=np.int64)
+        #: Resident lines per set — lets ``choose_way`` skip the invalid-way
+        #: scans entirely once a set is full (the steady state).
+        self._valid_count = np.zeros(cfg.sets, dtype=np.int64)
+        #: Tag directory: resident line address -> way.  The set index is
+        #: a function of the address, so the flat map is unambiguous; it
+        #: turns every tag probe into one O(1) hash lookup.
+        self.index = {}
+        # Adopt any pre-existing contents (mirrors can attach mid-life).
+        for set_idx, lines in enumerate(cache._sets):
+            for way, line in enumerate(lines):
+                if line.valid:
+                    self.sync(set_idx, way, line)
+
+    # -- probes ---------------------------------------------------------
+    def find_way(self, set_idx: int, line_addr: int) -> int:
+        """Way holding ``line_addr``, or -1 (no side effects)."""
+        return self.index.get(line_addr, -1)
+
+    def all_hit(self, line_addrs: List[int]) -> bool:
+        """True when *every* address currently hits (no side effects).
+
+        Hits never evict, so "all hit now" implies every one of these
+        accesses would hit when performed sequentially — the condition the
+        LSU's batched hit path relies on.
+        """
+        index = self.index
+        for line_addr in line_addrs:
+            if line_addr not in index:
+                return False
+        return True
+
+    def verify(self, cache) -> None:
+        """Cross-check the mirror against the authoritative line objects.
+
+        Debug/test helper: asserts tag array, directory, and replacement
+        columns all agree with the cache's lines (uses the jit-able
+        :func:`_find_tag` scan as an independent probe of the tag array).
+        """
+        for set_idx, lines in enumerate(cache._sets):
+            row = self.tags[set_idx]
+            valid = sum(1 for line in lines if line.valid)
+            assert int(self._valid_count[set_idx]) == valid, set_idx
+            for way, line in enumerate(lines):
+                expected = line.tag if line.valid else -1
+                assert int(row[way]) == expected, (set_idx, way)
+                if line.valid:
+                    assert _find_tag(row, line.tag) >= 0
+                    assert self.index.get(line.tag) == way, (set_idx, way)
+                    assert int(self.last_use[set_idx, way]) == line.last_use
+                    assert int(self.rrpv[set_idx, way]) == line.rrpv
+
+    # -- synchronization ------------------------------------------------
+    def sync(self, set_idx: int, way: int, line) -> None:
+        """Copy one line's authoritative state into the mirror."""
+        tags = self.tags
+        old = int(tags[set_idx, way])
+        new = line.tag if line.valid else -1
+        if old != new:
+            if old != -1:
+                self.index.pop(old, None)
+            else:
+                self._valid_count[set_idx] += 1
+            if new != -1:
+                self.index[new] = way
+            elif old != -1:
+                self._valid_count[set_idx] -= 1
+            tags[set_idx, way] = new
+        self.last_use[set_idx, way] = line.last_use
+        self.rrpv[set_idx, way] = line.rrpv
+
+    def invalidate_all(self) -> None:
+        self.tags.fill(-1)
+        self.index.clear()
+        self._valid_count.fill(0)
+
+    # -- victim selection -----------------------------------------------
+    def choose_way(self, lines: List, set_idx: int, lo: int, hi: int) -> int:
+        """Replicates ``policy.choose_way`` for the mirrored policy family."""
+        tag_row = self.tags[set_idx]
+        if self._valid_count[set_idx] < self._ways:  # else: set full, skip scans
+            way = _first_invalid(tag_row, lo, hi)
+            if way >= 0:
+                return way
+            if self.kind == "cacp":
+                # CACP falls back to an invalid way *anywhere* before
+                # evicting (an empty partition must not force evictions in
+                # the other) — and one exists, since the set is not full.
+                return _first_invalid(tag_row, 0, self._ways)
+        if self.kind == "cacp":
+            return self._rrip_victim(lines, set_idx, lo, hi)
+        if self.kind == "lru":
+            return lo + int(np.argmin(self.last_use[set_idx, lo:hi]))
+        return self._rrip_victim(lines, set_idx, lo, hi)
+
+    def _rrip_victim(self, lines: List, set_idx: int, lo: int, hi: int) -> int:
+        """Closed-form SRRIP victim search + aging over ``[lo, hi)``.
+
+        Ages the mirror *and* the authoritative line objects by the same
+        delta the scalar loop would have applied, then returns the first
+        way at ``RRPV_MAX`` — bit-identical post-state and victim.
+        """
+        window = self.rrpv[set_idx, lo:hi]
+        delta = RRPV_MAX - int(window.max())
+        if delta > 0:
+            window += delta
+            for way in range(lo, hi):
+                lines[way].rrpv += delta
+        return lo + int(np.argmax(window >= RRPV_MAX))
+
+
+# ---------------------------------------------------------------------------
+def attach_mirror(cache) -> Optional[TagMirror]:
+    """Attach a :class:`TagMirror` to ``cache`` if its policy is mirrorable.
+
+    Dispatch is on the *exact* policy type: subclasses with overridden
+    victim logic would silently diverge from the mirror's replication, so
+    anything unknown keeps the scalar path (returns ``None``).
+    """
+    kind = _mirror_kind(cache.policy)
+    if kind is None:
+        return None
+    mirror = TagMirror(cache, kind)
+    cache.mirror = mirror
+    return mirror
+
+
+def _mirror_kind(policy) -> Optional[str]:
+    cls = type(policy)
+    if cls is LRUPolicy:
+        return "lru"
+    if cls in (SRRIPPolicy, SHiPPolicy, BRRIPPolicy, DRRIPPolicy):
+        return "rrip"
+    # Local import: core.cacp imports from repro.memory, so importing it at
+    # module scope would cycle during package initialization.
+    from ..core.cacp import CACPPolicy
+
+    if cls is CACPPolicy:
+        return "cacp"
+    return None

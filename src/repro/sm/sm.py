@@ -95,6 +95,15 @@ class StreamingMultiprocessor:
         self.executor = executor
         self.schedulers = [scheduler_factory() for _ in range(config.num_schedulers_per_sm)]
         self.cpl = cpl
+        # Hot-loop locals: the per-cycle tick and per-instruction issue
+        # paths read these every iteration, and going through the frozen
+        # ``config`` dataclass costs two attribute lookups each time.
+        # Bound once here (the config is immutable, so binding at
+        # construction is equivalent to binding at kernel launch).
+        self._reserve = config.critical_mshr_reserve
+        self._alu_latency = config.alu_latency
+        self._sfu_latency = config.sfu_latency
+        self._num_slots = config.num_schedulers_per_sm
         self.warps: List[Warp] = []
         self.blocks: List[ThreadBlock] = []
         self.completed_blocks: List[ThreadBlock] = []
@@ -176,7 +185,7 @@ class StreamingMultiprocessor:
                 self.obs.emit(
                     (_EV_WARP_START, now, self.sm_id, block.block_id, w)
                 )
-            self.schedulers[warp.dynamic_id % len(self.schedulers)].notify_warp_added(warp)
+            self.schedulers[warp.dynamic_id % self._num_slots].notify_warp_added(warp)
             if self._event_core:
                 self._enqueue(warp)
 
@@ -196,7 +205,7 @@ class StreamingMultiprocessor:
             return
         wake, _ = warp.schedule_info()
         warp._queued = True
-        slot = warp.dynamic_id % len(self.schedulers)
+        slot = warp.dynamic_id % self._num_slots
         heapq.heappush(self._wake_heaps[slot], (wake, warp.dynamic_id, warp))
 
     def _release_barrier(self, block: ThreadBlock, now: float) -> None:
@@ -237,7 +246,7 @@ class StreamingMultiprocessor:
         would have produced.
         """
         issued = False
-        reserve = self.config.critical_mshr_reserve
+        reserve = self._reserve
         cpl = self.cpl
         mshr = self.mshr
         free_mshrs = -1  # computed lazily: only slots with candidates pay
@@ -300,8 +309,8 @@ class StreamingMultiprocessor:
     def _tick_scan(self, now: float) -> bool:
         """Reference implementation: linear readiness scan over all warps."""
         issued = False
-        num_slots = len(self.schedulers)
-        reserve = self.config.critical_mshr_reserve
+        num_slots = self._num_slots
+        reserve = self._reserve
         free_mshrs = self.mshr.free_entries(now)
         for slot, scheduler in enumerate(self.schedulers):
             ready = []
@@ -434,12 +443,12 @@ class StreamingMultiprocessor:
                 self._finish_warp(warp, scheduler, now)
         else:
             if inst.writes_predicate:
-                warp.rf.set_pred_ready(inst.dst, now + self.config.alu_latency)
+                warp.rf.set_pred_ready(inst.dst, now + self._alu_latency)
             elif inst.writes_register:
                 latency = (
-                    self.config.sfu_latency
+                    self._sfu_latency
                     if inst.unit is FuncUnit.SFU
-                    else self.config.alu_latency
+                    else self._alu_latency
                 )
                 warp.rf.set_reg_ready(inst.dst, now + latency, from_load=False)
             warp.stack.advance(pc + 1)

@@ -1,0 +1,169 @@
+"""Golden bit-identity: the vector backend must exactly match python.
+
+``GPUConfig.backend='vector'`` swaps the per-cycle scheduling machinery —
+warp readiness scans, scoreboard probes, cache tag matching and victim
+selection, the device cycle loop — for numpy batch equivalents
+(:class:`repro.sm.vector.VectorSM`, :class:`repro.memory.vector.TagMirror`).
+Those equivalents are *replications*, not approximations: every issue,
+cache access, and DRAM trip must land on exactly the same cycle, so cycle
+counts, instruction totals, the full cache/DRAM counter set, per-warp
+execution times, and the observability event stream are compared
+bit-for-bit against the scalar engine.
+
+The grid covers {rr, gto, caws, cawa} x {execute, trace} x {cycle, skip}.
+A fast subset runs in tier 1; the full grid is marked ``slow``.
+
+``cycles_skipped``/``skip_jumps`` are excluded (diagnostic jump telemetry
+legitimately differs between the device loops), as is host wall time.
+"""
+
+import pytest
+
+from repro import trace as trace_mod
+from repro.config import GPUConfig
+from repro.core.cawa import apply_scheme
+from repro.experiments.runner import build_oracle, clear_cache, run_scheme
+from repro.obs import StallAccounting, record_events, sort_events
+from repro.workloads import workload_names
+
+GRID_SCHEMES = ["rr", "gto", "caws", "cawa"]
+FRONTENDS = ["execute", "trace"]
+CLOCKS = ["cycle", "skip"]
+SCALE = 0.25
+
+_PROGRAMS = {}
+
+
+def _program(workload, scale=SCALE):
+    """Record each workload once per session; both backends replay it."""
+    key = (workload, scale)
+    if key not in _PROGRAMS:
+        _, program = trace_mod.record_workload(
+            workload, scale=scale, config=GPUConfig.default_sim()
+        )
+        _PROGRAMS[key] = program
+    return _PROGRAMS[key]
+
+
+def _signature(result):
+    """Everything that must not drift between the two backends."""
+    return (
+        result.cycles,
+        result.warp_instructions,
+        result.thread_instructions,
+        result.l1_stats.accesses,
+        result.l1_stats.hits,
+        result.l1_stats.misses,
+        result.l1_stats.bypasses,
+        result.l1_stats.critical_hits,
+        result.l2_stats.accesses,
+        result.l2_stats.misses,
+        result.dram_accesses,
+        tuple(tuple(block.warp_execution_times()) for block in result.blocks),
+    )
+
+
+def _run(workload, scheme, frontend, clock, backend, scale=SCALE):
+    base = GPUConfig.default_sim().with_clock(clock).with_backend(backend)
+    if frontend == "execute":
+        if scheme == "caws":
+            clear_cache()
+        return run_scheme(workload, scheme, scale=scale, config=base,
+                          use_cache=False, persistent=False)
+    cfg = apply_scheme(base, scheme)
+    oracle = None
+    if cfg.scheduler_name == "caws":
+        clear_cache()
+        oracle = build_oracle(workload, scale, GPUConfig.default_sim())
+    return trace_mod.replay_program(
+        _program(workload, scale), cfg, scheme=scheme, oracle=oracle
+    )[-1]
+
+
+def _assert_parity(workload, scheme, frontend, clock="cycle", scale=SCALE):
+    python = _run(workload, scheme, frontend, clock, "python", scale)
+    vector = _run(workload, scheme, frontend, clock, "vector", scale)
+    assert _signature(python) == _signature(vector), (
+        f"python/vector divergence on {workload} x {scheme} "
+        f"({frontend}, {clock})"
+    )
+
+
+class TestVectorParityFast:
+    """Tier-1 subset: one Sens workload across the grid schemes."""
+
+    @pytest.mark.parametrize("scheme", GRID_SCHEMES)
+    def test_execute_frontend(self, scheme):
+        _assert_parity("synthetic_imbalance", scheme, "execute")
+
+    @pytest.mark.parametrize("scheme", ["rr", "cawa"])
+    def test_trace_frontend(self, scheme):
+        _assert_parity("synthetic_imbalance", scheme, "trace")
+
+    @pytest.mark.parametrize("clock", CLOCKS)
+    def test_both_clocks(self, clock):
+        # The vector backend has its own per-cycle device loop but shares
+        # the skip loop; both must agree with the scalar engine.
+        _assert_parity("synthetic_memstress", "gto", "execute", clock)
+
+    def test_barrier_workload(self):
+        # kmeans exercises block-wide barriers: a barrier released during
+        # an issue must re-expose warps to the remaining scheduler slots
+        # of the same cycle (VectorSM's due-mask recompute).
+        _assert_parity("kmeans", "cawa", "execute", scale=0.125)
+
+    def test_divergent_workload(self):
+        _assert_parity("synthetic_divergence", "gto", "execute")
+
+    def test_dispatch_wave_workload(self):
+        # strcltr has more blocks than the device can co-host, so commits
+        # trigger mid-run dispatches — the only cross-SM wake source, and
+        # the path that appends to the vector backend's warp-state store
+        # mid-launch.
+        _assert_parity("strcltr_mid", "rr", "execute", scale=1.0)
+
+    def test_cacp_cache_paths(self):
+        # cawa at a memory-heavy cell drives the CACP mirror kind:
+        # partitioned victim search, invalid-anywhere fallback, bypasses.
+        _assert_parity("synthetic_memstress", "cawa", "execute")
+
+    def test_obs_event_stream_identical(self):
+        """The observability stream is part of the bit-identity contract.
+
+        With events on, the LSU's batched-hit fast path must disarm (the
+        per-access emits need per-line requests), so this also pins the
+        fallback path.
+        """
+        streams = {}
+        results = {}
+        for backend in ("python", "vector"):
+            cfg = GPUConfig.default_sim().with_backend(backend)
+            result, bus = record_events(
+                "bfs", "cawa", scale=SCALE, config=cfg,
+                collectors=(StallAccounting(),),
+            )
+            assert result.extra["events_recorded"] == bus.emitted > 0
+            streams[backend] = sort_events(bus.events())
+            results[backend] = result
+        assert _signature(results["python"]) == _signature(results["vector"])
+        assert streams["python"] == streams["vector"]
+
+
+@pytest.mark.slow
+class TestVectorParityFullGrid:
+    """The full golden grid: workload x scheme x frontend x clock."""
+
+    @pytest.mark.parametrize("clock", CLOCKS)
+    @pytest.mark.parametrize("frontend", FRONTENDS)
+    @pytest.mark.parametrize("workload", workload_names())
+    @pytest.mark.parametrize("scheme", GRID_SCHEMES)
+    def test_grid_cell(self, workload, scheme, frontend, clock):
+        _assert_parity(workload, scheme, frontend, clock)
+
+
+def test_backend_recorded_in_result():
+    result = run_scheme("synthetic_imbalance", "gto", scale=SCALE,
+                        config=GPUConfig.default_sim().with_backend("vector"),
+                        use_cache=False, persistent=False)
+    assert result.backend == "vector"
+    assert result.to_dict()["backend"] == "vector"

@@ -1,0 +1,138 @@
+"""The vector backend must be fully functional without numba.
+
+numba is an *optional* accelerator (``repro._jit``): every jitted kernel
+has a pure-numpy fallback with bit-identical results, and importing the
+simulator must never require numba.  These tests simulate a numba-less
+environment two ways — the ``REPRO_NO_NUMBA=1`` escape hatch and a
+monkeypatched import failure — and assert the vector backend still loads,
+runs, and matches the scalar engine exactly.
+"""
+
+import builtins
+import importlib
+import subprocess
+import sys
+
+from repro.config import GPUConfig
+from repro.experiments.runner import run_scheme
+
+WORKLOAD = "synthetic_imbalance"
+SCALE = 0.25
+
+
+def _signature(result):
+    return (
+        result.cycles,
+        result.warp_instructions,
+        result.thread_instructions,
+        result.l1_stats.hits,
+        result.l1_stats.misses,
+        result.dram_accesses,
+        tuple(tuple(block.warp_execution_times()) for block in result.blocks),
+    )
+
+
+def _run(backend):
+    return run_scheme(
+        WORKLOAD, "cawa", scale=SCALE,
+        config=GPUConfig.default_sim().with_backend(backend),
+        use_cache=False, persistent=False,
+    )
+
+
+def test_jit_or_returns_fallback_without_numba(monkeypatch):
+    """With numba absent, ``jit_or`` swaps in the fallback *object* —
+    zero per-call dispatch overhead, not a wrapper."""
+    import repro._jit as jit_mod
+
+    monkeypatch.setattr(jit_mod, "HAS_NUMBA", False)
+
+    def fallback(x):
+        return x + 1
+
+    def loop(x):  # pragma: no cover - must be replaced, never called
+        raise AssertionError("jitted body called without numba")
+
+    decorated = jit_mod.jit_or(fallback)(loop)
+    assert decorated is fallback
+    assert decorated(41) == 42
+
+
+def test_import_survives_numba_import_error(monkeypatch):
+    """Reload ``repro._jit`` with ``import numba`` raising: the module
+    must import cleanly and report ``HAS_NUMBA is False``."""
+    real_import = builtins.__import__
+
+    def no_numba(name, *args, **kwargs):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError("numba unavailable (simulated)")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.delenv("REPRO_NO_NUMBA", raising=False)
+    monkeypatch.setattr(builtins, "__import__", no_numba)
+    monkeypatch.delitem(sys.modules, "numba", raising=False)
+    import repro._jit as jit_mod
+
+    try:
+        reloaded = importlib.reload(jit_mod)
+        assert reloaded.HAS_NUMBA is False
+        assert reloaded._numba is None
+    finally:
+        monkeypatch.undo()
+        importlib.reload(jit_mod)
+
+
+def test_vector_parity_on_numpy_only_path():
+    """Parity grid cell in a subprocess with ``REPRO_NO_NUMBA=1``: the
+    numpy-only vector path must match the scalar engine bit-for-bit.
+
+    A subprocess is used because ``repro.memory.vector`` binds its kernels
+    at import time; an in-process env flip would not rebind them.
+    """
+    code = (
+        "from repro.config import GPUConfig\n"
+        "from repro.experiments.runner import run_scheme\n"
+        "import repro._jit as jit\n"
+        "assert jit.HAS_NUMBA is False\n"
+        "sigs = []\n"
+        "for backend in ('python', 'vector'):\n"
+        f"    r = run_scheme({WORKLOAD!r}, 'cawa', scale={SCALE},\n"
+        "                   config=GPUConfig.default_sim()"
+        ".with_backend(backend),\n"
+        "                   use_cache=False, persistent=False)\n"
+        "    sigs.append((r.cycles, r.warp_instructions,\n"
+        "                 r.l1_stats.hits, r.l1_stats.misses,\n"
+        "                 tuple(tuple(b.warp_execution_times())"
+        " for b in r.blocks)))\n"
+        "assert sigs[0] == sigs[1], 'numpy-only vector path diverged'\n"
+        "print('fallback-parity-ok')\n"
+    )
+    import os
+
+    env = dict(os.environ, REPRO_NO_NUMBA="1")
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env,
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "fallback-parity-ok" in proc.stdout
+
+
+def test_vector_backend_runs_in_current_environment():
+    """Whatever this environment has (numba or not), vector == python."""
+    assert _signature(_run("python")) == _signature(_run("vector"))
+
+
+def test_jit_or_preserves_signature_semantics():
+    """The numpy fallbacks of the mirror's kernels agree with the scalar
+    loops they replace (spot check on the tag-probe pair)."""
+    import numpy as np
+
+    from repro.memory.vector import _find_tag_numpy, _first_invalid_numpy
+
+    row = np.array([7, -1, 3, 3, -1], dtype=np.int64)
+    assert _find_tag_numpy(row, 3) == 2  # first match
+    assert _find_tag_numpy(row, 99) == -1
+    assert _first_invalid_numpy(row, 0, 5) == 1  # first invalid in range
+    assert _first_invalid_numpy(row, 2, 4) == -1
+    assert _first_invalid_numpy(row, 2, 5) == 4

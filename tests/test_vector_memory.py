@@ -1,0 +1,222 @@
+"""Exactness of the vector backend's memory-layer batch primitives.
+
+Each primitive — the :class:`~repro.memory.vector.TagMirror` tag directory
+and victim selection, the cache's batched all-hit path, the MSHR batch
+lookup, the DRAM closed-form queue arithmetic, and the L2 bank helpers —
+claims *bit-identical* results to the scalar loop it replaces.  These
+tests drive mirrored and scalar twins through identical randomized
+request streams and compare every externally visible outcome: hit/miss
+sequences, victim choices, replacement state, counters, and timings.
+"""
+
+import random
+
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.core.cacp import CACPPolicy
+from repro.memory.cache import Cache
+from repro.memory.dram import DRAMModel
+from repro.memory.l2 import BankedL2
+from repro.memory.mshr import MSHRFile
+from repro.memory.replacement import LRUPolicy, make_policy
+from repro.memory.request import MemRequest
+from repro.memory.vector import attach_mirror
+
+CFG = CacheConfig(sets=8, ways=4, line_size=128, mshr_entries=8)
+
+
+def _req(line_addr, cycle=0.0, critical=False, pc=0x40):
+    return MemRequest(
+        line_addr=line_addr, pc=pc, warp_key=(0, 0, 0), is_load=True,
+        is_critical=critical, cycle=cycle, signature=(pc ^ line_addr) & 0xFF,
+    )
+
+
+def _policy(name):
+    if name == "cacp":
+        return CACPPolicy(critical_ways=2, total_ways=CFG.ways)
+    return make_policy(name)
+
+
+def _stream(n, seed, footprint_lines=64):
+    rng = random.Random(seed)
+    lines = [i * CFG.line_size for i in range(footprint_lines)]
+    return [
+        _req(rng.choice(lines), cycle=float(i), critical=rng.random() < 0.3)
+        for i in range(n)
+    ]
+
+
+@pytest.mark.parametrize("policy_name",
+                         ["lru", "srrip", "ship", "brrip", "drrip", "cacp"])
+def test_mirrored_cache_matches_scalar_twin(policy_name):
+    """Same stream, one mirrored cache, one scalar: identical hit/miss
+    sequence, counters, and final line state."""
+    scalar = Cache(CFG, _policy(policy_name))
+    mirrored = Cache(CFG, _policy(policy_name))
+    assert attach_mirror(mirrored) is not None
+
+    for req in _stream(600, seed=policy_name):
+        assert scalar.access(req) == mirrored.access(req), req.line_addr
+    mirrored.mirror.verify(mirrored)
+
+    assert scalar.stats.accesses == mirrored.stats.accesses
+    assert scalar.stats.hits == mirrored.stats.hits
+    assert scalar.stats.misses == mirrored.stats.misses
+    assert scalar.stats.bypasses == mirrored.stats.bypasses
+    for s_lines, m_lines in zip(scalar._sets, mirrored._sets):
+        for s, m in zip(s_lines, m_lines):
+            assert (s.valid, s.tag, s.last_use, s.rrpv,
+                    s.filled_by_critical, s.in_critical_partition) == \
+                (m.valid, m.tag, m.last_use, m.rrpv,
+                 m.filled_by_critical, m.in_critical_partition)
+
+
+def test_attach_mirror_rejects_unknown_policy_subclass():
+    """Subclassed policies may override victim logic the mirror cannot
+    replicate; the cache must silently stay scalar."""
+
+    class CustomLRU(LRUPolicy):
+        pass
+
+    cache = Cache(CFG, CustomLRU())
+    assert attach_mirror(cache) is None
+    assert cache.mirror is None
+    # The scalar path still works.
+    assert cache.access(_req(0)) is False
+
+
+def test_mirror_directory_probes():
+    cache = Cache(CFG, make_policy("lru"))
+    mirror = attach_mirror(cache)
+    addrs = [i * CFG.line_size for i in (0, 8, 16)]  # same set (8 sets)
+    for a in addrs:
+        cache.access(_req(a))
+    for a in addrs:
+        set_idx = cache.config.set_index(a)
+        way = mirror.find_way(set_idx, a)
+        assert way >= 0
+        assert cache._sets[set_idx][way].tag == a
+    assert mirror.find_way(0, 999 * CFG.line_size) == -1
+    assert mirror.all_hit(addrs)
+    assert not mirror.all_hit(addrs + [999 * CFG.line_size])
+    mirror.verify(cache)
+
+    cache.invalidate_all()
+    assert not mirror.all_hit(addrs[:1])
+    assert mirror.find_way(cache.config.set_index(addrs[0]), addrs[0]) == -1
+    mirror.verify(cache)
+
+
+def test_batch_hits_equals_sequential_accesses():
+    """The LSU's batched all-hit path must produce the same stats and
+    replacement state as per-line ``access`` calls."""
+    warm = _stream(200, seed="warm")
+    seq = Cache(CFG, make_policy("lru"))
+    bat = Cache(CFG, make_policy("lru"))
+    attach_mirror(bat)
+    for req in warm:
+        seq.access(req)
+        bat.access(req)
+
+    # Pick a run of resident lines (guaranteed hits).
+    resident = [line.tag for lines in bat._sets for line in lines
+                if line.valid][:6]
+    probe = _req(resident[0], cycle=500.0, critical=True)
+    assert bat.batch_hits(resident, probe) is True
+    for addr in resident:
+        assert seq.access(_req(addr, cycle=500.0, critical=True))
+
+    assert seq.stats.accesses == bat.stats.accesses
+    assert seq.stats.hits == bat.stats.hits
+    assert seq.stats.critical_hits == bat.stats.critical_hits
+    for s_lines, b_lines in zip(seq._sets, bat._sets):
+        for s, b in zip(s_lines, b_lines):
+            assert (s.tag, s.last_use, s.rrpv, s.reuse_count) == \
+                (b.tag, b.last_use, b.rrpv, b.reuse_count)
+    bat.mirror.verify(bat)
+
+    # A single non-resident line defuses the whole batch (no side effects).
+    before = bat.stats.accesses
+    assert bat.batch_hits(resident + [10_000 * CFG.line_size], probe) is False
+    assert bat.stats.accesses == before
+
+
+def test_batch_hits_requires_mirror():
+    cache = Cache(CFG, make_policy("lru"))
+    assert cache.batch_hits([0], _req(0)) is False
+
+
+def test_mshr_lookup_batch_matches_sequential():
+    a = MSHRFile(entries=8)
+    b = MSHRFile(entries=8)
+    addrs = [0, 128, 256, 384]
+    for m in (a, b):
+        for addr in addrs[:3]:
+            m.register(addr, completion=100.0)
+    seq = [a.lookup(addr, now=1.0) for addr in addrs]
+    bat = b.lookup_batch(addrs, now=1.0)
+    assert seq == bat == [100.0, 100.0, 100.0, None]
+    assert a.merged_misses == b.merged_misses == 3
+
+    # Purge behavior matches too: past completions drop out.
+    seq = [a.lookup(addr, now=200.0) for addr in addrs]
+    bat = b.lookup_batch(addrs, now=200.0)
+    assert seq == bat == [None, None, None, None]
+    assert a.merged_misses == b.merged_misses
+
+
+def test_dram_access_batch_closed_form():
+    """One vectorized running-max recurrence == N sequential accesses."""
+    for seed in range(3):
+        rng = random.Random(seed)
+        times = sorted(float(rng.randrange(0, 50)) for _ in range(40))
+        seq_model = DRAMModel(latency=100, service_interval=4)
+        bat_model = DRAMModel(latency=100, service_interval=4)
+        seq = [seq_model.access(t) for t in times]
+        bat = bat_model.access_batch(times)
+        assert seq == list(bat)
+        assert seq_model._next_free == bat_model._next_free
+        assert seq_model.accesses == bat_model.accesses
+        assert seq_model.busy_cycles == bat_model.busy_cycles
+        assert seq_model.queue_cycles == bat_model.queue_cycles
+
+
+def test_dram_access_batch_empty_and_single():
+    model = DRAMModel(latency=100, service_interval=4)
+    assert list(model.access_batch([])) == []
+    twin = DRAMModel(latency=100, service_interval=4)
+    assert list(model.access_batch([5.0])) == [twin.access(5.0)]
+
+
+def test_l2_bank_helpers_match_scalar():
+    l2 = BankedL2(CFG, num_banks=4, latency=20, service_interval=2)
+    addrs = [i * CFG.line_size for i in range(10)]
+    assert list(l2.bank_of_batch(addrs)) == [l2.bank_of(a) for a in addrs]
+
+    # Skew the bank free times, then compare per-line queue delays.
+    l2._bank_next_free = [0.0, 5.0, 17.0, 3.0]
+    now = 4.0
+    batch = l2.queue_delays_batch(addrs, now)
+    for addr, delay in zip(addrs, batch):
+        expected = max(0.0, l2._bank_next_free[l2.bank_of(addr)] - now)
+        assert delay == expected
+
+
+def test_rrip_aging_side_effects_mirrored():
+    """The mirror's closed-form SRRIP aging must leave line objects in the
+    exact state the scalar aging loop produces (twin-compare on a stream
+    forcing evictions in one set)."""
+    scalar = Cache(CFG, make_policy("srrip"))
+    mirrored = Cache(CFG, make_policy("srrip"))
+    attach_mirror(mirrored)
+    # 12 distinct lines, all landing in set 0 (stride = sets * line_size).
+    stride = CFG.sets * CFG.line_size
+    for i, n in enumerate([0, 1, 2, 3, 4, 0, 1, 5, 6, 2, 7, 8, 9, 0, 10, 11]):
+        req = _req(n * stride, cycle=float(i))
+        assert scalar.access(req) == mirrored.access(req)
+    for s, m in zip(scalar._sets[0], mirrored._sets[0]):
+        assert (s.valid, s.tag, s.rrpv) == (m.valid, m.tag, m.rrpv)
+    mirrored.mirror.verify(mirrored)
