@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all test-slow lint bench profile sweep viz clean-cache
+.PHONY: test test-all test-slow lint bench profile sweep viz serve serve-smoke clean-cache
 
 ## Tier-1 suite: fast correctness tests (excludes `slow`-marked suites).
 test:
@@ -52,6 +52,15 @@ sweep:
 viz:
 	PYTHONPATH=src $(PYTHON) -m repro events export --format chrome $(ARGS)
 	PYTHONPATH=src $(PYTHON) -m repro events stats $(ARGS)
+
+## Run the simulation service on the default port (docs/serving.md).
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro serve
+
+## End-to-end service smoke: boot `repro serve`, exercise coalescing,
+## SSE obs progress, and draining shutdown through `repro client`.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
 
 ## Drop the persistent result cache.
 clean-cache:

@@ -16,6 +16,11 @@ Usage (``python -m repro <command>``)::
     python -m repro events stats bfs cawa
     python -m repro events export --format chrome bfs cawa
     python -m repro events schema --check
+    python -m repro serve --port 8642 --workers 4
+    python -m repro client submit --workload bfs --scheme cawa --watch
+    python -m repro client stats
+    python -m repro cache stats
+    python -m repro cache gc --max-age-days 30
 """
 
 from __future__ import annotations
@@ -459,6 +464,193 @@ def cmd_events(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the asyncio simulation service (see docs/serving.md)."""
+    import asyncio
+
+    from .serve import DEFAULT_PORT, ServerConfig
+    from .serve.server import run_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        sweep_parallel=args.sweep_parallel,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _client_spec_from_args(args) -> dict:
+    spec: dict = {"kind": args.kind, "scale": args.scale}
+    if args.kind == "figure":
+        if args.figure is None:
+            print("error: figure jobs need --figure N", file=sys.stderr)
+            raise SystemExit(2)
+        spec["figure"] = args.figure
+    else:
+        if args.workload:
+            key = "workloads" if "," in args.workload else "workload"
+            spec[key] = (args.workload.split(",") if key == "workloads"
+                         else args.workload)
+        if args.scheme:
+            key = "schemes" if "," in args.scheme else "scheme"
+            spec[key] = (args.scheme.split(",") if key == "schemes"
+                         else args.scheme)
+    if args.fermi:
+        spec["fermi"] = True
+    if args.events:
+        spec["events"] = True
+    if args.priority != "auto":
+        spec["priority"] = args.priority
+    device = {}
+    for knob in ("backend", "clock", "frontend"):
+        value = getattr(args, knob, None)
+        if value:
+            device[knob] = value
+    if getattr(args, "shards", 0) and args.shards > 1:
+        device["shards"] = args.shards
+    if device:
+        spec["device"] = device
+    return spec
+
+
+def _print_progress_record(record: dict) -> None:
+    kind = record.get("kind", "?")
+    rest = {k: v for k, v in record.items() if k != "kind"}
+    cells = " ".join(f"{k}={v}" for k, v in sorted(rest.items())
+                     if v is not None)
+    print(f"  [{kind}] {cells}" if cells else f"  [{kind}]")
+
+
+def cmd_client(args) -> int:
+    """Talk to a running ``repro serve`` instance."""
+    import json
+
+    from .serve import ServeClient, ServeClientError
+
+    client = ServeClient(args.server, tenant=args.tenant)
+    try:
+        if args.client_command == "submit":
+            job, coalesced = client.submit(_client_spec_from_args(args))
+            verb = "coalesced into" if coalesced else "submitted"
+            print(f"{verb} job {job['id']} ({job['describe']}, "
+                  f"priority {job['priority']})")
+            if args.watch:
+                for record in client.watch(job["id"]):
+                    _print_progress_record(record)
+            if args.watch or args.wait:
+                final = client.wait(job["id"], timeout=args.timeout)
+                if final["state"] != "done":
+                    print(f"job {job['id']} {final['state']}: "
+                          f"{final.get('error')}", file=sys.stderr)
+                    return 1
+                payload = client.result(job["id"])["payload"]
+                if payload.get("summary"):
+                    print(payload["summary"])
+            return 0
+        if args.client_command == "status":
+            print(json.dumps(client.status(args.job_id), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.client_command == "result":
+            data = client.result(args.job_id)
+            if args.format == "json":
+                print(json.dumps(data, indent=2, sort_keys=True))
+            else:
+                payload = data["payload"]
+                if payload.get("summary"):
+                    print(payload["summary"])
+                elif payload.get("text"):
+                    print(payload["text"])
+                else:
+                    for cell in payload.get("cells", ()):
+                        print(f"{cell['workload']:<20} {cell['scheme']:<12} "
+                              f"{cell['result']['cycles']:>10.0f} cycles")
+            return 0
+        if args.client_command == "watch":
+            for record in client.watch(args.job_id, timeout=args.timeout):
+                _print_progress_record(record)
+            return 0
+        if args.client_command == "cancel":
+            job = client.cancel(args.job_id)
+            print(f"job {job['id']} cancelled")
+            return 0
+        if args.client_command == "pause":
+            client.pause()
+            print("dispatch paused")
+            return 0
+        if args.client_command == "resume":
+            client.resume()
+            print("dispatch resumed")
+            return 0
+        if args.client_command == "shutdown":
+            client.shutdown(drain=not args.no_drain)
+            print("shutdown requested"
+                  + (" (draining)" if not args.no_drain else ""))
+            return 0
+        # stats
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_cache(args) -> int:
+    """Inspect or garbage-collect the persistent ``.repro_cache/`` stores."""
+    import json
+
+    from .experiments import result_cache
+    from .obs import store as event_store
+    from .trace import store as trace_store
+
+    stores = {
+        "results": result_cache,
+        "traces": trace_store,
+        "events": event_store,
+    }
+    if args.cache_command == "gc":
+        names = (args.what.split(",") if args.what else list(stores))
+        bad = [n for n in names if n not in stores]
+        if bad:
+            print(f"error: unknown store(s) {', '.join(bad)}; "
+                  f"choose from {', '.join(stores)}", file=sys.stderr)
+            return 2
+        max_age = (args.max_age_days * 86400.0
+                   if args.max_age_days is not None else None)
+        if max_age is None and args.max_entries is None:
+            print("error: give --max-age-days and/or --max-entries",
+                  file=sys.stderr)
+            return 2
+        total = 0
+        for name in names:
+            removed = stores[name].gc(
+                max_age_seconds=max_age, max_entries=args.max_entries
+            )
+            total += removed
+            print(f"{name:<8} removed {removed} entr"
+                  f"{'y' if removed == 1 else 'ies'}")
+        print(f"total    removed {total}")
+        return 0
+
+    # stats
+    payload = {name: store.stats() for name, store in stores.items()}
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{'store':<8} {'entries':>8} {'bytes':>12}  dir")
+    for name, info in payload.items():
+        print(f"{name:<8} {info['entries']:>8} {info['bytes']:>12}  "
+              f"{info['dir']}")
+    return 0
+
+
 def cmd_figure(args) -> int:
     if args.number not in FIGURES:
         print(f"no module for figure {args.number}; available: {FIGURES}",
@@ -626,6 +818,96 @@ def build_parser() -> argparse.ArgumentParser:
                         help="validate schema consistency and exit")
     events_sub.add_parser("info", help="list stored event recordings")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the asyncio simulation service (see docs/serving.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port (default 8642; 0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="executor processes simulating jobs")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="admission bound on queued jobs (503 beyond)")
+    p_serve.add_argument("--tenant-quota", type=int, default=8,
+                         help="per-tenant in-flight job cap (429 beyond)")
+    p_serve.add_argument("--sweep-parallel", action="store_true",
+                         help="let sweep jobs fan out inside their worker")
+
+    p_client = sub.add_parser(
+        "client",
+        help="submit and track jobs on a running `repro serve` instance",
+    )
+    p_client.add_argument("--server", default=None,
+                          help="base URL (default: $REPRO_SERVE_URL or "
+                          "http://127.0.0.1:8642)")
+    p_client.add_argument("--tenant", default="anon",
+                          help="tenant id for quota accounting")
+    p_client.add_argument("--timeout", type=float, default=600.0,
+                          help="seconds to wait/watch before giving up")
+    client_sub = p_client.add_subparsers(dest="client_command", required=True)
+    p_csub = client_sub.add_parser("submit", help="submit a job")
+    p_csub.add_argument("--kind", choices=["run", "sweep", "figure"],
+                        default="run")
+    p_csub.add_argument("--workload", default=None,
+                        help="workload name (comma-separate for sweeps)")
+    p_csub.add_argument("--scheme", default=None,
+                        help="scheme name (comma-separate for sweeps)")
+    p_csub.add_argument("--scale", type=float, default=1.0)
+    p_csub.add_argument("--figure", type=int, default=None)
+    p_csub.add_argument("--fermi", action="store_true")
+    p_csub.add_argument("--events", action="store_true",
+                        help="stream live obs progress over SSE (bypasses "
+                        "the result cache: recording runs always simulate)")
+    p_csub.add_argument("--priority", choices=["auto", "interactive", "batch"],
+                        default="auto")
+    p_csub.add_argument("--backend", choices=["python", "vector"],
+                        default=None)
+    p_csub.add_argument("--clock", choices=["cycle", "skip"], default=None)
+    p_csub.add_argument("--frontend", choices=["execute", "trace"],
+                        default=None)
+    p_csub.add_argument("--shards", type=int, default=0)
+    p_csub.add_argument("--watch", action="store_true",
+                        help="stream progress, then print the summary")
+    p_csub.add_argument("--wait", action="store_true",
+                        help="block until done, then print the summary")
+    for name, help_text in (
+        ("status", "print one job's status"),
+        ("result", "print a finished job's result"),
+        ("watch", "stream a job's SSE progress"),
+        ("cancel", "cancel a queued job"),
+    ):
+        p = client_sub.add_parser(name, help=help_text)
+        p.add_argument("job_id")
+        if name == "result":
+            p.add_argument("--format", choices=["text", "json"],
+                           default="text")
+    client_sub.add_parser("stats", help="print queue/cache metrics")
+    client_sub.add_parser("pause", help="hold dispatch (admission continues)")
+    client_sub.add_parser("resume", help="resume dispatch")
+    p_cshut = client_sub.add_parser("shutdown",
+                                    help="gracefully stop the server")
+    p_cshut.add_argument("--no-drain", action="store_true",
+                         help="cancel queued jobs instead of finishing them")
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect the .repro_cache/ stores",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cstat = cache_sub.add_parser("stats", help="entry/byte counts per store")
+    p_cstat.add_argument("--format", choices=["text", "json"], default="text")
+    p_cgc = cache_sub.add_parser(
+        "gc", help="lock-safe removal of stale entries"
+    )
+    p_cgc.add_argument("--max-age-days", type=float, default=None,
+                       help="drop entries older than this many days")
+    p_cgc.add_argument("--max-entries", type=int, default=None,
+                       help="keep at most this many newest entries per store")
+    p_cgc.add_argument("--what", default=None,
+                       help="comma-separated stores (results,traces,events); "
+                       "default all")
+
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")
     p_fig.add_argument("number", type=int)
     p_fig.add_argument("--scale", type=float, default=1.0)
@@ -649,6 +931,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": cmd_lint,
         "trace": cmd_trace,
         "events": cmd_events,
+        "serve": cmd_serve,
+        "client": cmd_client,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -12,8 +12,12 @@ Key design:
   — every timing parameter except the issue-core selector, since both cores
   are bit-identical), and the package version.  Any config or version change
   therefore misses cleanly instead of returning stale numbers.
-* Entries are written atomically (temp file + ``os.replace``) so concurrent
-  sweep workers can share one cache directory without torn reads.
+* Entries are written atomically (temp file + ``os.replace`` via
+  :mod:`repro.fslock`) so concurrent sweep workers — and the
+  :mod:`repro.serve` executor processes — can share one cache directory
+  without torn reads.  Garbage collection (:func:`gc`, ``repro cache gc``)
+  holds an advisory lock so two collectors never race each other;
+  individual entry writes stay lock-free.
 * The directory defaults to ``.repro_cache/`` under the current working
   directory; override with the ``REPRO_CACHE_DIR`` environment variable or
   :func:`set_cache_dir`.  Set ``REPRO_DISK_CACHE=0`` to disable entirely.
@@ -29,11 +33,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Optional
 
 from .. import __version__
+from .. import fslock
 from ..stats.counters import RunResult
 
 #: Environment variable overriding the cache directory.
@@ -123,20 +127,8 @@ def store(key: str, result: RunResult) -> None:
     """Persist ``result`` under ``key`` (atomic; safe across processes)."""
     if not enabled():
         return
-    directory = cache_dir()
     try:
-        directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(result.to_dict(), handle)
-            os.replace(tmp_name, _entry_path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        fslock.atomic_write_json(_entry_path(key), result.to_dict())
     except OSError:
         # A read-only or full filesystem must never break a simulation run.
         pass
@@ -154,3 +146,43 @@ def clear() -> int:
             except OSError:
                 pass
     return removed
+
+
+def stats() -> dict:
+    """Entry count and byte total for the result-cache directory."""
+    directory = cache_dir()
+    out = fslock.dir_stats(directory, "*.json")
+    out["dir"] = str(directory)
+    return out
+
+
+def gc(
+    max_age_seconds: Optional[float] = None,
+    max_entries: Optional[int] = None,
+    blocking: bool = True,
+) -> int:
+    """Lock-safe garbage collection of stale result entries.
+
+    Removes entries older than ``max_age_seconds`` and/or beyond the
+    newest ``max_entries``, oldest first.  Holds the cache directory's
+    advisory GC lock for the enumerate-and-delete section; with
+    ``blocking=False`` a held lock means another collector is already at
+    work and this call returns 0 immediately.  Concurrent writers need no
+    lock: replaced entries carry fresh mtimes and unlinked entries simply
+    miss on next load.
+    """
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    lock = fslock.lock_path(directory)
+    if blocking:
+        with fslock.locked(lock):
+            return fslock.gc_entries(
+                directory, "*.json", max_age_seconds, max_entries
+            )
+    with fslock.try_locked(lock) as acquired:
+        if not acquired:
+            return 0
+        return fslock.gc_entries(
+            directory, "*.json", max_age_seconds, max_entries
+        )

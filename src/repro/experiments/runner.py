@@ -217,6 +217,45 @@ def _trace_frontend_run(
     return result
 
 
+#: ``run_scheme`` keyword parameters; anything else in ``run_sweep``'s
+#: ``**kwargs`` is a workload kwarg and disables disk-cache fan-out.
+_RUN_SCHEME_KWARGS = frozenset(
+    ("check", "with_accuracy", "with_reuse", "use_cache", "observers",
+     "persistent", "shards")
+)
+
+
+def _dedupe_parallel_cells(
+    cells: List[Tuple[str, str]],
+    base: GPUConfig,
+) -> List[List[Tuple[str, str]]]:
+    """Group grid cells that resolve to the same simulation execution.
+
+    Two cells share an execution when their workload matches and their
+    scheme names resolve — via :func:`~repro.core.cawa.apply_scheme` — to
+    configs with identical result-cache fingerprints (duplicate grid
+    entries, or scheme aliases).  Dispatching both would simulate the same
+    cell twice; the parallel sweep submits one representative per group
+    (the first cell, preserving grid order) and fans the shared result
+    back out.  This is the library-level half of the request coalescing
+    that :mod:`repro.serve` performs across tenants.
+    """
+    groups: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
+    order: List[Tuple[str, str]] = []
+    fingerprints: Dict[str, str] = {}
+    for workload, scheme in cells:
+        if scheme not in fingerprints:
+            fingerprints[scheme] = apply_scheme(base, scheme).fingerprint()
+        key = (workload, fingerprints[scheme])
+        group = groups.get(key)
+        if group is None:
+            groups[key] = [(workload, scheme)]
+            order.append(key)
+        elif (workload, scheme) not in group:
+            group.append((workload, scheme))
+    return [groups[key] for key in order]
+
+
 def _sweep_worker(args: Tuple) -> Tuple[Tuple[str, str], Dict]:
     """Process-pool worker: run one cell, return it in plain-dict form.
 
@@ -259,26 +298,53 @@ def run_sweep(
     if parallel and len(grid) > 1 and serializable:
         import concurrent.futures
 
-        pending = []
+        use_cache = kwargs.get("use_cache", True)
+        with_accuracy = kwargs.get("with_accuracy", False)
+
+        def _cell_key(workload: str, scheme: str) -> Tuple:
+            return (workload, scheme, scale, with_accuracy,
+                    kwargs.get("with_reuse", False), ())
+
+        pending: List[Tuple[str, str]] = []
         for workload, scheme in grid:
-            cell_key = (workload, scheme, scale,
-                        kwargs.get("with_accuracy", False),
-                        kwargs.get("with_reuse", False), ())
-            if kwargs.get("use_cache", True) and cell_key in _CACHE:
-                results[(workload, scheme)] = _CACHE[cell_key]
-            else:
-                pending.append((workload, scheme, scale, config, kwargs))
+            if use_cache and _cell_key(workload, scheme) in _CACHE:
+                results[(workload, scheme)] = _CACHE[_cell_key(workload, scheme)]
+            elif (workload, scheme) not in pending:
+                pending.append((workload, scheme))
         if pending:
-            workers = max_workers or min(len(pending), os.cpu_count() or 1)
+            base = config or GPUConfig.default_sim()
+            # Cells sharing an execution fingerprint (duplicates, scheme
+            # aliases) run once; every member of the group gets the result.
+            groups = _dedupe_parallel_cells(pending, base)
+            submit = [(g[0][0], g[0][1], scale, config, kwargs)
+                      for g in groups]
+            # Alias cells also get their own disk-cache entries so later
+            # serial run_scheme calls hit, under the same conditions
+            # run_scheme itself uses for persistence.
+            fan_disk = (use_cache
+                        and kwargs.get("persistent", True)
+                        and not kwargs.get("with_reuse", False)
+                        and base.events == "off"
+                        and all(k in _RUN_SCHEME_KWARGS for k in kwargs))
+            workers = max_workers or min(len(submit), os.cpu_count() or 1)
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                for (cell, data) in pool.map(_sweep_worker, pending):
+                for group, (cell, data) in zip(
+                    groups, pool.map(_sweep_worker, submit)
+                ):
                     result = RunResult.from_dict(data)
-                    results[cell] = result
-                    if kwargs.get("use_cache", True):
-                        cell_key = (cell[0], cell[1], scale,
-                                    kwargs.get("with_accuracy", False),
-                                    kwargs.get("with_reuse", False), ())
-                        _CACHE[cell_key] = result
+                    for workload, scheme in group:
+                        results[(workload, scheme)] = result
+                        if use_cache:
+                            _CACHE[_cell_key(workload, scheme)] = result
+                        if fan_disk and (workload, scheme) != cell:
+                            result_cache.store(
+                                result_cache.cache_key(
+                                    workload, scheme, scale,
+                                    apply_scheme(base, scheme).fingerprint(),
+                                    with_accuracy,
+                                ),
+                                result,
+                            )
         return results
 
     for workload, scheme in grid:

@@ -25,6 +25,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import fslock
 from ..errors import ReproError
 from .events import SCHEMA_VERSION, validate_events
 
@@ -83,9 +84,11 @@ def save_events(path: Path, events: Iterable[Sequence],
         "events": records,
     }
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = json.dumps(envelope, sort_keys=True).encode("utf-8")
-    path.write_bytes(zlib.compress(payload, level=6))
+    # Atomic (temp + os.replace): a concurrent reader of the same artifact
+    # sees either the previous complete stream or this one, never a torn
+    # zlib payload.
+    fslock.atomic_write_bytes(path, zlib.compress(payload, level=6))
     return path
 
 
@@ -128,3 +131,39 @@ def list_events() -> List[Tuple[str, Path]]:
     ]
     out.sort()
     return out
+
+
+def stats() -> dict:
+    """Entry count and byte total for the event-stream store."""
+    root = events_dir()
+    out = fslock.dir_stats(root, f"*{SUFFIX}")
+    out["dir"] = str(root)
+    return out
+
+
+def gc(
+    max_age_seconds: Optional[float] = None,
+    max_entries: Optional[int] = None,
+    blocking: bool = True,
+) -> int:
+    """Lock-safe garbage collection of stale event streams (and spill
+    chunks), same contract as :func:`repro.experiments.result_cache.gc`."""
+    root = events_dir()
+    lock = fslock.lock_path(root)
+
+    def _collect() -> int:
+        removed = fslock.gc_entries(
+            root, f"*{SUFFIX}", max_age_seconds, max_entries
+        )
+        removed += fslock.gc_entries(
+            root / "spill", "*", max_age_seconds, None
+        )
+        return removed
+
+    if blocking:
+        with fslock.locked(lock):
+            return _collect()
+    with fslock.try_locked(lock) as acquired:
+        if not acquired:
+            return 0
+        return _collect()

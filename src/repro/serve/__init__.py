@@ -1,0 +1,59 @@
+"""Simulation-as-a-service: the ``repro serve`` subsystem.
+
+Wraps the existing library machinery — :func:`repro.experiments.runner`
+runs and sweeps, the content-addressed result/trace caches, and the
+:mod:`repro.obs` event bus — in a long-lived asyncio HTTP service with a
+priority job queue, per-tenant quotas and back-pressure, and request
+coalescing keyed on the same config fingerprints that key the result
+cache (so concurrent identical requests share one execution and every
+subscriber receives the identical result payload).
+
+Public surface:
+
+* :class:`ServerConfig` / :class:`ReproServer` / :func:`run_server` /
+  :class:`ServerThread` — the service itself;
+* :class:`ServeClient` — the standard-library client the ``repro
+  client`` CLI wraps;
+* :class:`JobSpec` / :class:`JobQueue` — the job model, importable
+  without pulling in asyncio plumbing.
+
+See ``docs/serving.md`` for the API reference and semantics.
+"""
+
+from .client import ServeClient, ServeClientError
+from .config import DEFAULT_PORT, ServerConfig, default_server_url
+from .jobs import (
+    Job,
+    JobQueue,
+    JobSpec,
+    JobSpecError,
+    QueueFull,
+    QuotaExceeded,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobSpecError",
+    "QueueFull",
+    "QuotaExceeded",
+    "ReproServer",
+    "ServeClient",
+    "ServeClientError",
+    "ServerConfig",
+    "ServerThread",
+    "default_server_url",
+    "run_server",
+]
+
+
+def __getattr__(name):
+    # The server pulls in asyncio + concurrent.futures; load it lazily so
+    # `from repro.serve import ServeClient` stays light.
+    if name in ("ReproServer", "ServerThread", "run_server"):
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,183 @@
+"""Thin standard-library client for the simulation service.
+
+:class:`ServeClient` speaks the ``repro serve`` JSON API over
+``http.client`` — one connection per request, plus a long-lived streaming
+connection for :meth:`ServeClient.watch` (Server-Sent Events).  The
+``repro client`` CLI (see :mod:`repro.cli`) is a thin shell around this
+class; tests and scripts can use it directly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+from .config import default_server_url
+
+
+class ServeClientError(ReproError):
+    """The server rejected a request or could not be reached."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Client for one ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: Optional[str] = None,
+                 tenant: str = "anon", timeout: float = 30.0) -> None:
+        self.base_url = (base_url or default_server_url()).rstrip("/")
+        split = urlsplit(self.base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ServeClientError(
+                f"server URL must be http://host:port, got {self.base_url!r}"
+            )
+        self._host = split.hostname
+        self._port = split.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+    def _connect(self, timeout: Optional[float] = None):
+        return http.client.HTTPConnection(
+            self._host, self._port, timeout=timeout or self.timeout
+        )
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> Tuple[int, dict]:
+        body = None
+        headers = {"X-Repro-Tenant": self.tenant}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connect()
+        try:
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeClientError(
+                    f"cannot reach {self.base_url}: {exc}"
+                ) from exc
+            try:
+                data = json.loads(raw) if raw else {}
+            except ValueError:
+                data = {"error": raw.decode("utf-8", "replace")}
+            return response.status, data
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        status, data = self._request(method, path, payload)
+        if status >= 400:
+            raise ServeClientError(
+                data.get("error", f"HTTP {status}"), status=status
+            )
+        return data
+
+    # -- API -------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/stats")
+
+    def submit(self, spec: dict) -> Tuple[dict, bool]:
+        """Submit a job payload; returns ``(job, coalesced)``."""
+        data = self._checked("POST", "/jobs", payload=spec)
+        return data["job"], bool(data.get("coalesced"))
+
+    def jobs(self) -> list:
+        return self._checked("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._checked("GET", f"/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> dict:
+        """Result payload of a finished job (raises until it is done)."""
+        return self._checked("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._checked("DELETE", f"/jobs/{job_id}")["job"]
+
+    def pause(self) -> dict:
+        return self._checked("POST", "/queue/pause")
+
+    def resume(self) -> dict:
+        return self._checked("POST", "/queue/resume")
+
+    def shutdown(self, drain: bool = True) -> dict:
+        return self._checked("POST", "/shutdown", payload={"drain": drain})
+
+    # -- waiting / streaming --------------------------------------------
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.1) -> dict:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() > deadline:
+                raise ServeClientError(
+                    f"timed out after {timeout:g}s waiting for {job_id} "
+                    f"(state {job['state']})"
+                )
+            time.sleep(poll)
+
+    def watch(self, job_id: str,
+              timeout: float = 600.0) -> Iterator[Dict]:
+        """Stream the job's SSE progress records as dicts.
+
+        Yields every record (history first, then live) and returns after
+        the terminal ``complete`` record.
+        """
+        conn = self._connect(timeout=timeout)
+        try:
+            try:
+                conn.request("GET", f"/jobs/{job_id}/events",
+                             headers={"X-Repro-Tenant": self.tenant})
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeClientError(
+                    f"cannot reach {self.base_url}: {exc}"
+                ) from exc
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except ValueError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServeClientError(message or f"HTTP {response.status}",
+                                       status=response.status)
+            for record in _parse_sse(response):
+                yield record
+                if record.get("kind") == "complete":
+                    return
+        finally:
+            conn.close()
+
+
+def _parse_sse(stream) -> Iterator[dict]:
+    """Decode ``data:`` payloads from a Server-Sent-Events byte stream."""
+    data_lines = []
+    for raw in stream:
+        line = raw.decode("utf-8", "replace").rstrip("\r\n")
+        if line == "":
+            if data_lines:
+                try:
+                    yield json.loads("\n".join(data_lines))
+                except ValueError:
+                    pass
+                data_lines = []
+            continue
+        if line.startswith("data:"):
+            data_lines.append(line[5:].lstrip())

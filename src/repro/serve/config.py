@@ -1,0 +1,92 @@
+"""Server-side configuration for :mod:`repro.serve`.
+
+Kept separate from :class:`repro.config.GPUConfig` on purpose: a
+:class:`ServerConfig` describes the *service* (bind address, worker pool,
+admission limits), never the simulated device — device knobs arrive per
+job inside the request payload (see :class:`repro.serve.jobs.JobSpec`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigError
+
+#: Default TCP port (unassigned in the IANA registry; "GPUB" on a phone pad).
+DEFAULT_PORT = 8642
+#: Environment variable the client CLI reads for the server base URL.
+ENV_SERVER_URL = "REPRO_SERVE_URL"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one ``repro serve`` instance.
+
+    Attributes:
+        host: bind address (loopback by default — put a real proxy in
+            front before exposing the service beyond one machine).
+        port: TCP port; ``0`` binds an ephemeral port (the chosen one is
+            reported by :meth:`repro.serve.server.ReproServer.port`).
+        workers: executor processes simulating jobs.  One slot is held
+            back from batch jobs whenever ``workers > 1`` so a small
+            interactive run never waits behind a wall of sweeps.
+        max_queue: admission-control bound on queued (not yet running)
+            jobs; submissions beyond it are rejected with HTTP 503 +
+            ``Retry-After`` (back-pressure, not buffering).
+        tenant_quota: per-tenant cap on in-flight (queued + running)
+            jobs; beyond it submissions get HTTP 429.  Coalesced joins
+            are free — they add no work.
+        progress_poll: seconds between progress-file polls while relaying
+            worker progress to SSE subscribers.
+        keep_finished: completed/failed jobs retained for status queries
+            before being evicted oldest-first.
+        cache_dir: explicit ``.repro_cache`` override handed to executor
+            processes (``None``: workers inherit the server's resolution).
+        sweep_parallel: let sweep jobs fan out with
+            ``run_sweep(parallel=True)`` *inside* their executor process.
+            Off by default: the worker pool is already the parallelism
+            budget, and nesting pools multiplies processes.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: int = 2
+    max_queue: int = 64
+    tenant_quota: int = 8
+    progress_poll: float = 0.05
+    keep_finished: int = 256
+    cache_dir: Optional[str] = None
+    sweep_parallel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ConfigError(f"workers must be positive, got {self.workers}")
+        if self.max_queue <= 0:
+            raise ConfigError(
+                f"max_queue must be positive, got {self.max_queue}"
+            )
+        if self.tenant_quota <= 0:
+            raise ConfigError(
+                f"tenant_quota must be positive, got {self.tenant_quota}"
+            )
+        if not 0 < self.progress_poll <= 5.0:
+            raise ConfigError(
+                f"progress_poll must be in (0, 5] seconds, "
+                f"got {self.progress_poll}"
+            )
+        if self.keep_finished < 0:
+            raise ConfigError("keep_finished must be non-negative")
+
+    @property
+    def batch_slots(self) -> int:
+        """Executor slots batch jobs may occupy (interactive reservation)."""
+        return self.workers - 1 if self.workers > 1 else 1
+
+
+def default_server_url() -> str:
+    """Base URL the client CLI targets (env override > local default)."""
+    return os.environ.get(
+        ENV_SERVER_URL, f"http://127.0.0.1:{DEFAULT_PORT}"
+    ).rstrip("/")

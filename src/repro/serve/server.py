@@ -1,0 +1,619 @@
+"""The asyncio simulation service (``repro serve``).
+
+One process, one event loop, three moving parts:
+
+* an ``asyncio.start_server`` HTTP/1.1 front end (hand-rolled request
+  parsing — the service speaks a deliberately small JSON API and takes no
+  dependency beyond the standard library);
+* a dispatch loop draining the :class:`~repro.serve.jobs.JobQueue` into a
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose workers call
+  :func:`repro.serve.worker.execute_job`;
+* per-job monitor tasks tailing the worker's progress file and fanning
+  records out to Server-Sent-Events subscribers.
+
+API (all JSON unless noted)::
+
+    POST   /jobs              submit (or coalesce into) a job
+    GET    /jobs              list known jobs
+    GET    /jobs/{id}         job status
+    GET    /jobs/{id}/result  result payload (409 until done)
+    GET    /jobs/{id}/events  SSE progress stream (text/event-stream)
+    DELETE /jobs/{id}         cancel a queued job
+    GET    /stats             queue, coalescing, and cache metrics
+    GET    /healthz           liveness probe
+    POST   /queue/pause       hold dispatch (admission continues)
+    POST   /queue/resume      resume dispatch
+    POST   /shutdown          graceful shutdown: drain jobs, then exit
+
+Back-pressure surfaces as HTTP 503 + ``Retry-After`` (queue full or
+draining) and per-tenant limits as HTTP 429; both are admission-time
+rejections, not buffering.  See ``docs/serving.md`` for the full
+semantics, ``repro client`` for the CLI that speaks this API, and
+:class:`ServerThread` for the embeddable form the tests and smoke script
+use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import multiprocessing
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .config import ServerConfig
+from .jobs import (
+    CANCELLED,
+    JobQueue,
+    JobSpec,
+    JobSpecError,
+    QueueFull,
+    QuotaExceeded,
+    TERMINAL,
+)
+from .progress import read_new_records
+from .worker import execute_job
+
+#: Reason phrases for the handful of statuses the API uses.
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+#: Largest request body the server will read.
+_MAX_BODY = 8 * 1024 * 1024
+#: Seconds allowed for a client to present its request head and body.
+_READ_TIMEOUT = 30.0
+
+
+class ReproServer:
+    """One service instance; create, :meth:`start`, then :meth:`serve_forever`."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.queue = JobQueue(
+            max_queue=self.config.max_queue,
+            tenant_quota=self.config.tenant_quota,
+        )
+        self.paused = False
+        self.draining = False
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._monitors: Dict[str, asyncio.Task] = {}
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket, spin up the executor and the dispatch loop."""
+        self.started_at = time.time()
+        self._wake = asyncio.Event()
+        self._stopped = asyncio.Event()
+        try:
+            # Fork keeps executor start-up cheap (workers inherit the
+            # already-imported simulator); other platforms fall back to
+            # their default start method.
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            mp_context = None
+        self._executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.config.workers, mp_context=mp_context
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port,
+        )
+        self._scheduler_task = asyncio.ensure_future(self._scheduler())
+
+    @property
+    def port(self) -> int:
+        """Actual bound port (resolves ``port=0`` ephemeral binds)."""
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        """Block until a shutdown completes."""
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        ``drain=True`` (the graceful path) first refuses new submissions,
+        then lets every queued and running job finish, then closes.
+        ``drain=False`` cancels queued jobs and waits only for the jobs
+        already executing (executor processes are never killed mid-run —
+        a half-written cache entry is impossible anyway, but a wasted
+        simulation is not).
+        """
+        self.draining = True
+        self.paused = False  # a paused queue must still drain
+        if not drain:
+            for job in list(self.queue.jobs.values()):
+                if job.state == "queued":
+                    self.queue.cancel(job.id)
+                    self._broadcast(job, {"kind": "complete",
+                                          "state": CANCELLED})
+        self._kick()
+        while any(j.state in ("queued", "running")
+                  for j in self.queue.jobs.values()):
+            await asyncio.sleep(self.config.progress_poll)
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+        for task in list(self._monitors.values()):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        assert self._stopped is not None
+        self._stopped.set()
+
+    def _kick(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _spool_dir(self) -> Path:
+        from ..experiments import result_cache
+
+        base = (Path(self.config.cache_dir) if self.config.cache_dir
+                else result_cache.cache_dir())
+        return base / "serve"
+
+    def _progress_path(self, job_id: str) -> Path:
+        return self._spool_dir() / f"{job_id}.progress.jsonl"
+
+    async def _scheduler(self) -> None:
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            self._dispatch_ready()
+
+    def _dispatch_ready(self) -> None:
+        if self.paused:
+            return
+        assert self._executor is not None
+        while True:
+            free = self.config.workers - self.queue.running_count()
+            if free <= 0:
+                return
+            allow_batch = (
+                self.queue.running_batch_count() < self.config.batch_slots
+            )
+            job = self.queue.pop(allow_batch=allow_batch)
+            if job is None:
+                return
+            payload = job.spec.to_payload()
+            if job.spec.kind == "sweep" and self.config.sweep_parallel:
+                payload["_sweep_parallel"] = True
+            progress_path = self._progress_path(job.id)
+            loop = asyncio.get_event_loop()
+            future = loop.run_in_executor(
+                self._executor, execute_job, payload, str(progress_path),
+                self.config.cache_dir,
+            )
+            self._broadcast(job, {"kind": "dispatched", "job": job.id})
+            self._monitors[job.id] = asyncio.ensure_future(
+                self._monitor(job, future, progress_path)
+            )
+
+    async def _monitor(self, job, future, progress_path: Path) -> None:
+        """Tail the worker's progress file until the executor future
+        resolves, then record the outcome and notify subscribers."""
+        offset = 0
+        try:
+            while not future.done():
+                offset = self._relay(job, progress_path, offset)
+                await asyncio.sleep(self.config.progress_poll)
+            self._relay(job, progress_path, offset)
+            try:
+                result = future.result()
+                self.queue.finish(job, result=result)
+            except Exception as exc:
+                self.queue.finish(job, error=str(exc))
+            self._broadcast(job, {
+                "kind": "complete",
+                "state": job.state,
+                "error": job.error,
+                "seconds": (job.finished or 0) - (job.started or 0),
+            })
+        finally:
+            self._monitors.pop(job.id, None)
+            self._evict_finished()
+            self._kick()
+
+    def _relay(self, job, progress_path: Path, offset: int) -> int:
+        records, offset = read_new_records(progress_path, offset)
+        for record in records:
+            self._broadcast(job, record)
+        return offset
+
+    def _broadcast(self, job, record: dict) -> None:
+        job.progress.append(record)
+        for sub in self._subscribers.get(job.id, ()):  # never blocks: unbounded
+            sub.put_nowait(record)
+
+    def _evict_finished(self) -> None:
+        before = set(self.queue.jobs)
+        self.queue.evict_finished(self.config.keep_finished)
+        for job_id in before - set(self.queue.jobs):
+            self._subscribers.pop(job_id, None)
+            try:
+                self._progress_path(job_id).unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # HTTP front end
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError):
+            pass
+        except Exception as exc:  # defensive: one bad request != one crash
+            try:
+                await self._send_json(writer, 500, {"error": str(exc)})
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_request(self, reader, writer) -> None:
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=_READ_TIMEOUT
+        )
+        if not request_line:
+            return
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            await self._send_json(writer, 400, {"error": "bad request line"})
+            return
+        headers = {}
+        while True:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=_READ_TIMEOUT
+            )
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > _MAX_BODY:
+            await self._send_json(writer, 413, {"error": "body too large"})
+            return
+        body = b""
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=_READ_TIMEOUT
+            )
+        path = target.split("?", 1)[0]
+        await self._route(method.upper(), path, headers, body, writer)
+
+    async def _route(self, method: str, path: str, headers: dict,
+                     body: bytes, writer) -> None:
+        parts = [p for p in path.split("/") if p]
+
+        if method == "GET" and path == "/healthz":
+            await self._send_json(writer, 200, {"ok": True})
+        elif method == "GET" and path == "/stats":
+            await self._send_json(writer, 200, self._stats())
+        elif method == "POST" and path == "/jobs":
+            await self._post_jobs(headers, body, writer)
+        elif method == "GET" and path == "/jobs":
+            jobs = [j.to_dict() for j in self.queue.jobs.values()]
+            jobs.sort(key=lambda j: j["created"])
+            await self._send_json(writer, 200, {"jobs": jobs})
+        elif len(parts) >= 2 and parts[0] == "jobs":
+            job = self.queue.jobs.get(parts[1])
+            if job is None:
+                await self._send_json(
+                    writer, 404, {"error": f"no job {parts[1]!r}"}
+                )
+            elif method == "GET" and len(parts) == 2:
+                await self._send_json(writer, 200, {"job": job.to_dict()})
+            elif method == "DELETE" and len(parts) == 2:
+                await self._cancel(job, writer)
+            elif method == "GET" and parts[2:] == ["result"]:
+                if job.state == "done":
+                    await self._send_json(
+                        writer, 200,
+                        {"job": job.to_dict(), "payload": job.result},
+                    )
+                elif job.state == "failed":
+                    await self._send_json(
+                        writer, 409,
+                        {"error": job.error, "job": job.to_dict()},
+                    )
+                else:
+                    await self._send_json(
+                        writer, 409,
+                        {"error": f"job is {job.state}", "job": job.to_dict()},
+                    )
+            elif method == "GET" and parts[2:] == ["events"]:
+                await self._stream_events(job, writer)
+            else:
+                await self._send_json(writer, 405, {"error": "unsupported"})
+        elif method == "POST" and path == "/queue/pause":
+            self.paused = True
+            await self._send_json(writer, 200, {"paused": True})
+        elif method == "POST" and path == "/queue/resume":
+            self.paused = False
+            self._kick()
+            await self._send_json(writer, 200, {"paused": False})
+        elif method == "POST" and path == "/shutdown":
+            drain = True
+            if body:
+                try:
+                    drain = bool(json.loads(body).get("drain", True))
+                except ValueError:
+                    pass
+            await self._send_json(
+                writer, 202, {"shutting_down": True, "drain": drain}
+            )
+            asyncio.ensure_future(self.shutdown(drain=drain))
+        else:
+            await self._send_json(
+                writer, 404, {"error": f"no route {method} {path}"}
+            )
+
+    async def _post_jobs(self, headers: dict, body: bytes, writer) -> None:
+        if self.draining:
+            await self._send_json(
+                writer, 503, {"error": "server is draining"},
+                extra_headers={"Retry-After": "5"},
+            )
+            return
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError:
+            await self._send_json(writer, 400, {"error": "body is not JSON"})
+            return
+        tenant = (payload.get("tenant") if isinstance(payload, dict)
+                  else None) or headers.get("x-repro-tenant") or "anon"
+        try:
+            spec = JobSpec.from_payload(payload)
+            job, coalesced = self.queue.submit(spec, tenant=str(tenant))
+        except JobSpecError as exc:
+            await self._send_json(writer, 400, {"error": str(exc)})
+            return
+        except QuotaExceeded as exc:
+            await self._send_json(writer, 429, {"error": str(exc)})
+            return
+        except QueueFull as exc:
+            await self._send_json(
+                writer, 503, {"error": str(exc)},
+                extra_headers={"Retry-After": "1"},
+            )
+            return
+        if not coalesced:
+            self._broadcast(job, {"kind": "queued", "job": job.id,
+                                  "priority": job.priority})
+        self._kick()
+        await self._send_json(
+            writer, 200, {"job": job.to_dict(), "coalesced": coalesced}
+        )
+
+    async def _cancel(self, job, writer) -> None:
+        try:
+            self.queue.cancel(job.id)
+        except JobSpecError as exc:
+            await self._send_json(writer, 409, {"error": str(exc)})
+            return
+        self._broadcast(job, {"kind": "complete", "state": CANCELLED})
+        await self._send_json(writer, 200, {"job": job.to_dict()})
+
+    def _stats(self) -> dict:
+        from ..experiments import result_cache
+        from ..obs import store as event_store
+        from ..trace import store as trace_store
+
+        stats = self.queue.stats()
+        stats["server"] = {
+            "workers": self.config.workers,
+            "batch_slots": self.config.batch_slots,
+            "max_queue": self.config.max_queue,
+            "tenant_quota": self.config.tenant_quota,
+            "paused": self.paused,
+            "draining": self.draining,
+            "uptime": time.time() - (self.started_at or time.time()),
+        }
+        stats["cache"] = {
+            "results": result_cache.stats(),
+            "traces": trace_store.stats(),
+            "events": event_store.stats(),
+        }
+        return stats
+
+    # ------------------------------------------------------------------
+    # SSE
+    # ------------------------------------------------------------------
+    async def _stream_events(self, job, writer) -> None:
+        """Server-Sent-Events feed: full history, then live records.
+
+        The snapshot and subscription are taken in one event-loop step
+        (no ``await`` in between), so no record can be missed or
+        duplicated across the hand-off.  The stream ends after the
+        ``complete`` record.
+        """
+        sub: asyncio.Queue = asyncio.Queue()
+        history = list(job.progress)
+        live = job.state not in TERMINAL
+        if live:
+            self._subscribers.setdefault(job.id, []).append(sub)
+        try:
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-store\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1"))
+            for record in history:
+                await self._send_sse(writer, record)
+            if not live:
+                if not history or history[-1].get("kind") != "complete":
+                    await self._send_sse(
+                        writer, {"kind": "complete", "state": job.state,
+                                 "error": job.error},
+                    )
+                return
+            while True:
+                record = await sub.get()
+                await self._send_sse(writer, record)
+                if record.get("kind") == "complete":
+                    return
+        finally:
+            subs = self._subscribers.get(job.id)
+            if subs and sub in subs:
+                subs.remove(sub)
+
+    async def _send_sse(self, writer, record: dict) -> None:
+        data = json.dumps(record, sort_keys=True)
+        writer.write(f"event: progress\ndata: {data}\n\n".encode("utf-8"))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    async def _send_json(self, writer, status: int, payload: dict,
+                         extra_headers: Optional[dict] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+async def run_server(config: Optional[ServerConfig] = None,
+                     ready=None) -> None:
+    """Start a server and run it until shutdown (the CLI entry point).
+
+    Installs SIGINT/SIGTERM handlers for graceful draining where the
+    platform supports them.  ``ready`` (if given) is called with the
+    started :class:`ReproServer` — the smoke script uses it to learn the
+    ephemeral port.
+    """
+    import signal
+
+    server = ReproServer(config)
+    await server.start()
+    loop = asyncio.get_event_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(server.shutdown())
+            )
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    if ready is not None:
+        ready(server)
+    print(f"repro serve: listening on {server.base_url} "
+          f"({server.config.workers} worker(s))", flush=True)
+    await server.serve_forever()
+    print("repro serve: drained and stopped", flush=True)
+
+
+class ServerThread:
+    """Run a :class:`ReproServer` on a private event loop in a thread.
+
+    The embeddable form: tests and host applications start a real service
+    (real sockets, real executor processes) without blocking the caller::
+
+        handle = ServerThread(ServerConfig(port=0, workers=1))
+        handle.start()
+        ... talk to handle.base_url ...
+        handle.stop()
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig(port=0)
+        self.server: Optional[ReproServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = None
+        self._ready = None
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        import threading
+
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("repro serve thread failed to start")
+        return self
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self.server = ReproServer(self.config)
+
+        async def _run():
+            await self.server.start()
+            assert self._ready is not None
+            self._ready.set()
+            await self.server.serve_forever()
+
+        try:
+            loop.run_until_complete(_run())
+        finally:
+            loop.close()
+
+    @property
+    def base_url(self) -> str:
+        assert self.server is not None
+        return self.server.base_url
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if not self._loop.is_closed():
+            asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(drain=drain), self._loop
+            )
+        self._thread.join(timeout)

@@ -23,6 +23,7 @@ import json
 from pathlib import Path
 from typing import Optional
 
+from .. import fslock
 from ..config import GPUConfig
 from ..errors import TraceError, TraceFormatError, TraceMismatchError
 from ..experiments.result_cache import cache_dir
@@ -155,3 +156,42 @@ def clear() -> int:
             except OSError:
                 pass
     return removed
+
+
+def stats() -> dict:
+    """Entry count and byte total for the trace store."""
+    directory = trace_dir()
+    out = fslock.dir_stats(directory, f"*{TRACE_SUFFIX}")
+    out["dir"] = str(directory)
+    return out
+
+
+def gc(
+    max_age_seconds: Optional[float] = None,
+    max_entries: Optional[int] = None,
+    blocking: bool = True,
+) -> int:
+    """Lock-safe garbage collection of stale traces.
+
+    Same contract as :func:`repro.experiments.result_cache.gc`: the
+    enumerate-and-delete section holds the trace directory's advisory GC
+    lock; writers stay lock-free because :meth:`TraceProgram.save` is
+    already atomic (temp file + ``os.replace``) and a deleted trace is
+    indistinguishable from a miss, which the runner answers by
+    re-recording.
+    """
+    directory = trace_dir()
+    if not directory.is_dir():
+        return 0
+    lock = fslock.lock_path(directory)
+    if blocking:
+        with fslock.locked(lock):
+            return fslock.gc_entries(
+                directory, f"*{TRACE_SUFFIX}", max_age_seconds, max_entries
+            )
+    with fslock.try_locked(lock) as acquired:
+        if not acquired:
+            return 0
+        return fslock.gc_entries(
+            directory, f"*{TRACE_SUFFIX}", max_age_seconds, max_entries
+        )

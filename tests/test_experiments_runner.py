@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.experiments import runner
-from repro.experiments.runner import build_oracle, run_scheme, run_sweep, sweep_table
+from repro.config import GPUConfig
+from repro.experiments import result_cache, runner
+from repro.experiments.runner import (
+    _dedupe_parallel_cells,
+    build_oracle,
+    run_scheme,
+    run_sweep,
+    sweep_table,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -78,6 +85,61 @@ class TestSweep:
                            lambda r: r.ipc, "workload")
         assert "synthetic_imbalance" in text
         assert "rr" in text and "gto" in text
+
+
+class TestParallelSweepDedupe:
+    """Grid cells resolving to one execution fingerprint run once."""
+
+    def test_duplicate_cells_collapse_to_one_group(self):
+        base = GPUConfig.default_sim()
+        groups = _dedupe_parallel_cells(
+            [("bfs", "rr"), ("bfs", "rr"), ("bfs", "gto")], base
+        )
+        assert groups == [[("bfs", "rr")], [("bfs", "gto")]]
+
+    def test_distinct_schemes_stay_separate(self):
+        base = GPUConfig.default_sim()
+        groups = _dedupe_parallel_cells(
+            [("bfs", "rr"), ("bfs", "cawa"), ("kmeans", "rr")], base
+        )
+        assert len(groups) == 3
+        assert all(len(g) == 1 for g in groups)
+
+    def test_alias_schemes_share_one_execution(self, monkeypatch):
+        # Register a scheme alias that resolves to rr's exact config; the
+        # grid must dispatch one simulation and fan it out to both cells.
+        from repro.core import cawa
+
+        monkeypatch.setitem(cawa.SCHEMES, "rr_alias", cawa.SCHEMES["rr"])
+        base = GPUConfig.default_sim()
+        groups = _dedupe_parallel_cells(
+            [("bfs", "rr"), ("bfs", "rr_alias")], base
+        )
+        assert groups == [[("bfs", "rr"), ("bfs", "rr_alias")]]
+
+    def test_parallel_sweep_fans_alias_results_out(self, monkeypatch):
+        from repro.core import cawa
+
+        monkeypatch.setitem(cawa.SCHEMES, "rr_alias", cawa.SCHEMES["rr"])
+        wl = "synthetic_imbalance"
+        results = run_sweep([wl], ["rr", "rr_alias"], scale=SCALE,
+                            parallel=True)
+        assert results[(wl, "rr")].cycles == results[(wl, "rr_alias")].cycles
+        # Both cells got their own disk-cache entries, so later serial
+        # calls under either name hit without re-simulating.
+        base = GPUConfig.default_sim()
+        for scheme in ("rr", "rr_alias"):
+            key = result_cache.cache_key(
+                wl, scheme, SCALE,
+                cawa.apply_scheme(base, scheme).fingerprint(),
+            )
+            assert result_cache.load(key) is not None
+
+    def test_parallel_sweep_with_duplicate_scheme_list(self):
+        wl = "synthetic_imbalance"
+        results = run_sweep([wl], ["rr", "rr"], scale=SCALE, parallel=True)
+        assert set(results) == {(wl, "rr")}
+        assert results[(wl, "rr")].cycles > 0
 
 
 class TestFigureModules:

@@ -1,0 +1,327 @@
+"""Unit tests for the serve job model: spec validation, priority queue,
+request coalescing, quotas, and back-pressure.
+
+Everything here is pure data-structure code — no sockets, no asyncio, no
+executor processes (see tests/test_serve_http.py for the end-to-end
+service tests).
+"""
+
+import pytest
+
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobQueue,
+    JobSpec,
+    JobSpecError,
+    QueueFull,
+    QuotaExceeded,
+)
+
+
+def spec(**overrides):
+    payload = {"kind": "run", "workload": "synthetic_imbalance",
+               "scheme": "rr", "scale": 0.25}
+    payload.update(overrides)
+    return JobSpec.from_payload(payload)
+
+
+class TestJobSpecValidation:
+    def test_minimal_run_payload(self):
+        s = spec()
+        assert s.kind == "run"
+        assert s.workloads == ("synthetic_imbalance",)
+        assert s.schemes == ("rr",)
+        assert s.priority == "interactive"  # auto: single run
+
+    def test_sweep_defaults_to_batch_priority(self):
+        s = JobSpec.from_payload({"kind": "sweep",
+                                  "workloads": ["synthetic_imbalance"],
+                                  "schemes": ["rr", "gto"], "scale": 0.25})
+        assert s.priority == "batch"
+        assert s.schemes == ("rr", "gto")
+
+    def test_figure_payload(self):
+        s = JobSpec.from_payload({"kind": "figure", "figure": 4,
+                                  "scale": 0.25})
+        assert s.kind == "figure" and s.figure == 4
+        assert s.workloads == () and s.schemes == ()
+
+    def test_comma_separated_strings_split(self):
+        s = JobSpec.from_payload({"kind": "sweep",
+                                  "workloads": "bfs,kmeans",
+                                  "schemes": "rr,cawa", "scale": 0.25})
+        assert s.workloads == ("bfs", "kmeans")
+        assert s.schemes == ("rr", "cawa")
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ({"kind": "bogus"}, "kind"),
+        ({"kind": "run"}, "workload"),
+        ({"kind": "run", "workload": "nope"}, "unknown workload"),
+        ({"kind": "run", "workload": "bfs", "scheme": "nope"},
+         "unknown scheme"),
+        ({"kind": "run", "workload": "bfs", "scale": -1}, "scale"),
+        ({"kind": "run", "workload": "bfs", "scale": "big"}, "scale"),
+        ({"kind": "run", "workload": "bfs", "priority": "urgent"},
+         "priority"),
+        ({"kind": "run", "workload": "bfs", "frobnicate": 1}, "unknown job"),
+        ({"kind": "run", "workload": "bfs",
+          "workloads": ["kmeans"]}, "not both"),
+        ({"kind": "run", "workloads": ["bfs", "kmeans"]}, "exactly one"),
+        ({"kind": "figure"}, "figure"),
+        ({"kind": "figure", "figure": 999}, "no module"),
+        ({"kind": "run", "workload": "bfs", "device": ["backend"]},
+         "device"),
+        ({"kind": "run", "workload": "bfs",
+          "device": {"warps": 64}}, "device knob"),
+        ({"kind": "run", "workload": "bfs",
+          "device": {"backend": "quantum"}}, "invalid device knob"),
+    ])
+    def test_bad_payloads_rejected(self, payload, fragment):
+        with pytest.raises(JobSpecError, match=fragment):
+            JobSpec.from_payload(payload)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_payload(["not", "a", "dict"])
+
+
+class TestFingerprint:
+    def test_identical_specs_share_fingerprint(self):
+        assert spec().fingerprint() == spec().fingerprint()
+
+    def test_tenant_and_priority_excluded(self):
+        # Coalescing is multi-tenant: priority does not change the answer.
+        assert (spec(priority="interactive").fingerprint()
+                == spec(priority="batch").fingerprint())
+
+    def test_device_knobs_excluded(self):
+        # backend/clock/shards are bit-identical by contract.
+        a = spec()
+        b = spec(device={"backend": "vector"})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_events_flag_included(self):
+        # Subscribers of an obs-streaming job are promised obs records.
+        assert spec(events=True).fingerprint() != spec().fingerprint()
+
+    def test_scale_and_scheme_included(self):
+        base = spec().fingerprint()
+        assert spec(scale=0.5).fingerprint() != base
+        assert spec(scheme="gto").fingerprint() != base
+
+    def test_sweep_cell_order_irrelevant(self):
+        a = JobSpec.from_payload({"kind": "sweep", "workloads": ["bfs"],
+                                  "schemes": ["rr", "gto"], "scale": 0.25})
+        b = JobSpec.from_payload({"kind": "sweep", "workloads": ["bfs"],
+                                  "schemes": ["gto", "rr"], "scale": 0.25})
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestQueueOrdering:
+    def test_fifo_within_class(self):
+        q = JobQueue()
+        first, _ = q.submit(spec())
+        second, _ = q.submit(spec(scheme="gto"))
+        assert q.pop().id == first.id
+        assert q.pop().id == second.id
+        assert q.pop() is None
+
+    def test_interactive_preempts_batch(self):
+        q = JobQueue()
+        batch, _ = q.submit(spec(priority="batch"))
+        inter, _ = q.submit(spec(scheme="gto", priority="interactive"))
+        assert q.pop().id == inter.id
+        assert q.pop().id == batch.id
+
+    def test_pop_disallow_batch_skips_batch_jobs(self):
+        q = JobQueue()
+        batch, _ = q.submit(spec(priority="batch"))
+        assert q.pop(allow_batch=False) is None
+        # The skipped entry must survive for a later permissive pop.
+        assert q.pop(allow_batch=True).id == batch.id
+
+    def test_pop_marks_running_and_counts_execution(self):
+        q = JobQueue()
+        job, _ = q.submit(spec())
+        popped = q.pop()
+        assert popped.state == RUNNING
+        assert q.counters["executions"] == 1
+
+    def test_cancelled_jobs_never_pop(self):
+        q = JobQueue()
+        job, _ = q.submit(spec())
+        q.cancel(job.id)
+        assert job.state == CANCELLED
+        assert q.pop() is None
+
+    def test_cancel_running_job_rejected(self):
+        q = JobQueue()
+        job, _ = q.submit(spec())
+        q.pop()
+        with pytest.raises(JobSpecError, match="running"):
+            q.cancel(job.id)
+
+
+class TestCoalescing:
+    def test_identical_submissions_coalesce(self):
+        q = JobQueue()
+        a, coalesced_a = q.submit(spec(), tenant="alice")
+        b, coalesced_b = q.submit(spec(), tenant="bob")
+        assert not coalesced_a and coalesced_b
+        assert a.id == b.id
+        assert a.waiters == 1
+        assert q.counters["submitted"] == 1
+        assert q.counters["coalesced"] == 1
+        # One pop drains the queue: a single execution serves both.
+        assert q.pop().id == a.id
+        assert q.pop() is None
+
+    def test_coalesce_onto_running_job(self):
+        q = JobQueue()
+        a, _ = q.submit(spec())
+        q.pop()
+        b, coalesced = q.submit(spec())
+        assert coalesced and b.id == a.id
+
+    def test_no_coalesce_after_terminal(self):
+        q = JobQueue()
+        a, _ = q.submit(spec())
+        q.finish(q.pop(), result={"ok": True})
+        assert a.state == DONE
+        b, coalesced = q.submit(spec())
+        assert not coalesced and b.id != a.id
+
+    def test_interactive_join_escalates_batch_primary(self):
+        q = JobQueue()
+        batch, _ = q.submit(spec(priority="batch"))
+        other, _ = q.submit(spec(scheme="gto", priority="interactive"))
+        joined, coalesced = q.submit(spec(priority="interactive"))
+        assert coalesced and joined.id == batch.id
+        assert batch.priority == "interactive"
+        # Escalated job now competes FIFO in the interactive class —
+        # `other` was enqueued there first.
+        assert q.pop().id == other.id
+        assert q.pop().id == batch.id
+
+    def test_coalesced_join_exempt_from_quota(self):
+        q = JobQueue(tenant_quota=1)
+        q.submit(spec(), tenant="alice")
+        # Same tenant, identical spec: joins instead of being rejected.
+        _, coalesced = q.submit(spec(), tenant="alice")
+        assert coalesced
+        # A distinct spec from the same tenant is over quota.
+        with pytest.raises(QuotaExceeded):
+            q.submit(spec(scheme="gto"), tenant="alice")
+
+
+class TestAdmissionControl:
+    def test_tenant_quota_rejects(self):
+        q = JobQueue(tenant_quota=2)
+        q.submit(spec(), tenant="alice")
+        q.submit(spec(scheme="gto"), tenant="alice")
+        with pytest.raises(QuotaExceeded):
+            q.submit(spec(scheme="cawa"), tenant="alice")
+        assert q.counters["rejected_quota"] == 1
+        # Other tenants are unaffected.
+        q.submit(spec(scheme="cawa"), tenant="bob")
+
+    def test_queue_full_rejects(self):
+        q = JobQueue(max_queue=2, tenant_quota=100)
+        q.submit(spec(), tenant="a")
+        q.submit(spec(scheme="gto"), tenant="b")
+        with pytest.raises(QueueFull):
+            q.submit(spec(scheme="cawa"), tenant="c")
+        assert q.counters["rejected_queue_full"] == 1
+
+    def test_running_jobs_do_not_count_against_queue_bound(self):
+        q = JobQueue(max_queue=1, tenant_quota=100)
+        q.submit(spec(), tenant="a")
+        q.pop()  # now running, queue empty again
+        q.submit(spec(scheme="gto"), tenant="b")  # fits
+
+
+class TestProgressChannel:
+    """The JSONL progress file bridging executor processes and the server."""
+
+    def test_writer_reader_round_trip(self, tmp_path):
+        from repro.serve.progress import ProgressWriter, read_new_records
+
+        path = tmp_path / "spool" / "job.progress.jsonl"
+        writer = ProgressWriter(path)
+        writer.emit("started", pid=123)
+        writer.emit("cell", workload="bfs", cycles=10.0)
+        records, offset = read_new_records(path, 0)
+        assert [r["kind"] for r in records] == ["started", "cell"]
+        # Tailing resumes from the returned offset.
+        writer.emit("finished")
+        writer.close()
+        more, _ = read_new_records(path, offset)
+        assert [r["kind"] for r in more] == ["finished"]
+
+    def test_partial_trailing_line_left_for_next_poll(self, tmp_path):
+        from repro.serve.progress import read_new_records
+
+        path = tmp_path / "p.jsonl"
+        path.write_bytes(b'{"kind": "started"}\n{"kind": "trunc')
+        records, offset = read_new_records(path, 0)
+        assert [r["kind"] for r in records] == ["started"]
+        # The writer finishes the line; the next poll picks it up whole.
+        with open(path, "ab") as handle:
+            handle.write(b'ated"}\n')
+        more, _ = read_new_records(path, offset)
+        assert [r["kind"] for r in more] == ["truncated"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        from repro.serve.progress import read_new_records
+
+        records, offset = read_new_records(tmp_path / "absent.jsonl", 0)
+        assert records == [] and offset == 0
+
+
+class TestLifecycle:
+    def test_finish_success(self):
+        q = JobQueue()
+        job, _ = q.submit(spec())
+        q.finish(q.pop(), result={"cycles": 1.0})
+        assert job.state == DONE
+        assert job.result == {"cycles": 1.0}
+        assert q.counters["done"] == 1
+
+    def test_finish_failure(self):
+        q = JobQueue()
+        job, _ = q.submit(spec())
+        q.finish(q.pop(), error="boom")
+        assert job.state == FAILED and job.error == "boom"
+        assert q.counters["failed"] == 1
+
+    def test_evict_finished_keeps_newest(self):
+        q = JobQueue()
+        ids = []
+        for scheme in ("rr", "gto", "cawa"):
+            job, _ = q.submit(spec(scheme=scheme))
+            ids.append(job.id)
+            q.finish(q.pop(), result={})
+        assert q.evict_finished(keep=1) == 2
+        assert set(q.jobs) == {ids[-1]}
+
+    def test_stats_shape(self):
+        q = JobQueue()
+        q.submit(spec(), tenant="alice")
+        stats = q.stats()
+        assert stats["queued"] == 1
+        assert stats["tenants"] == {"alice": 1}
+        assert stats["counters"]["submitted"] == 1
+
+    def test_to_dict_round_trip_fields(self):
+        q = JobQueue()
+        job, _ = q.submit(spec())
+        d = job.to_dict()
+        assert d["state"] == QUEUED
+        assert d["kind"] == "run"
+        assert d["has_result"] is False
+        assert "progress" not in d
+        assert "progress" in job.to_dict(with_progress=True)
