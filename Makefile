@@ -4,7 +4,10 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all test-slow lint bench profile sweep viz serve serve-smoke clean-cache
+.PHONY: test test-all test-slow lint sanitize bench profile sweep viz serve serve-smoke clean-cache
+
+## Packages held to the ruff + strict-mypy bar (CI `lint` job).
+TYPED_PACKAGES = src/repro/analysis src/repro/sanitize src/repro/obs src/repro/trace
 
 ## Tier-1 suite: fast correctness tests (excludes `slow`-marked suites).
 test:
@@ -19,15 +22,21 @@ test-slow:
 	$(PYTEST) -q -m slow
 
 ## Static analysis: lint every registry kernel (docs/static_analysis.md),
-## then ruff / strict mypy over the analysis package when installed.
+## then ruff / strict mypy over the typed packages when installed.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint --all
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
-		$(PYTHON) -m ruff check src/repro/analysis; \
+		$(PYTHON) -m ruff check $(TYPED_PACKAGES); \
 	else echo "ruff not installed; skipping"; fi
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
-		$(PYTHON) -m mypy --strict src/repro/analysis; \
+		$(PYTHON) -m mypy --strict $(TYPED_PACKAGES); \
 	else echo "mypy not installed; skipping"; fi
+
+## Sanitize the simulator's own source: fingerprint soundness,
+## determinism, probe parity, clock-protocol and shard-safety rules
+## (docs/static_analysis.md, "Sanitizing the simulator").
+sanitize:
+	PYTHONPATH=src $(PYTHON) -m repro sanitize --all
 
 ## Paper-reproduction benchmarks + perf smoke (pytest-benchmark).
 bench:

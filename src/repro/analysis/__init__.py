@@ -17,6 +17,13 @@ simulation:
     liveness (dead-write detection), block-uniformity (divergence)
     analysis, and an affine abstract interpretation of address arithmetic.
 
+:mod:`repro.analysis.common`
+    Shared finding/report/registry machinery — stable rule IDs,
+    severities, waiver-aware pass/fail logic, text/JSON rendering — used
+    both by the kernel linter below and by :mod:`repro.sanitize`, the
+    static checker that points the same design at the simulator's own
+    source tree.
+
 :mod:`repro.analysis.lints`
     A rule registry with stable IDs and severities: unreachable blocks,
     ill-nested reconvergence, barrier-divergence hazards, infinite-loop
@@ -34,6 +41,7 @@ syntax.
 """
 
 from .cfg import CFG, BasicBlock, BranchSite, build_cfg, pc_successors
+from .common import BaseFinding, ReportBase, Rule, RuleRegistry
 from .dataflow import DataflowResult, analyze_dataflow
 from .lints import (
     Finding,
@@ -50,6 +58,7 @@ from .pathlen import (
 )
 
 __all__ = [
+    "BaseFinding",
     "BasicBlock",
     "BranchSite",
     "CFG",
@@ -60,6 +69,9 @@ __all__ = [
     "LintRule",
     "PathBounds",
     "RULES",
+    "ReportBase",
+    "Rule",
+    "RuleRegistry",
     "Severity",
     "analyze_dataflow",
     "build_cfg",

@@ -443,7 +443,7 @@ def _collect_mem_accesses(cfg: CFG, kernel, result: DataflowResult) -> None:
     def join(a, b):
         return {
             r: (a.get(r) if a.get(r) == b.get(r) else None)
-            for r in set(a) | set(b)
+            for r in sorted(set(a) | set(b))
         }
 
     def clone(state):

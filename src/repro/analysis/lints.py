@@ -31,8 +31,6 @@ still reported — with ``suppressed=True`` — but do not fail the lint.
 
 from __future__ import annotations
 
-import enum
-import json
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
@@ -49,110 +47,63 @@ from typing import (
 
 from ..isa.instructions import Opcode
 from .cfg import CFG
+from .common import BaseFinding, ReportBase, Rule, RuleRegistry, Severity
 from .dataflow import DataflowResult, analyze_dataflow
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..isa.kernel import Kernel
     from .pathlen import PathBounds
 
-
-class Severity(enum.IntEnum):
-    """How bad a finding is.  Only ERROR findings fail a lint run."""
-
-    INFO = 0
-    WARNING = 1
-    ERROR = 2
-
-    def __str__(self) -> str:  # "error", not "Severity.ERROR"
-        return self.name.lower()
+__all__ = [
+    "Severity",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "LintContext",
+    "RULES",
+    "rule",
+    "lint_kernel",
+]
 
 
 @dataclass(frozen=True)
-class Finding:
+class Finding(BaseFinding):
     """One lint hit, tied to a rule ID and a PC in one kernel."""
 
-    rule: str
-    severity: Severity
-    kernel: str
-    pc: int
-    message: str
+    kernel: str = ""
+    pc: int = -1
     #: The offending source line, as rendered by ``Kernel.disassemble``.
     source: str = ""
-    #: True when the kernel carries a waiver for this rule.
-    suppressed: bool = False
+
+    def location(self) -> str:
+        return f"{self.kernel}:pc={self.pc}"
 
     def to_dict(self) -> Dict[str, object]:
-        return {
-            "rule": self.rule,
-            "severity": str(self.severity),
-            "kernel": self.kernel,
-            "pc": self.pc,
-            "message": self.message,
-            "source": self.source,
-            "suppressed": self.suppressed,
-        }
+        out = super().to_dict()
+        out.update(kernel=self.kernel, pc=self.pc, source=self.source)
+        return out
 
     def __str__(self) -> str:
-        mark = " (waived)" if self.suppressed else ""
         line = f" | {self.source}" if self.source else ""
-        return (
-            f"{self.kernel}:pc={self.pc}: {self.severity} "
-            f"[{self.rule}]{mark} {self.message}{line}"
-        )
+        return super().__str__() + line
 
 
 @dataclass
-class LintReport:
+class LintReport(ReportBase):
     """All findings for one kernel, plus pass/fail summary logic."""
 
     kernel: str
     findings: List[Finding] = field(default_factory=list)
 
     @property
-    def errors(self) -> List[Finding]:
-        return [
-            f
-            for f in self.findings
-            if f.severity is Severity.ERROR and not f.suppressed
-        ]
-
-    @property
-    def warnings(self) -> List[Finding]:
-        return [
-            f
-            for f in self.findings
-            if f.severity is Severity.WARNING and not f.suppressed
-        ]
-
-    @property
-    def ok(self) -> bool:
-        """True when no unsuppressed ERROR finding exists."""
-        return not self.errors
-
-    def by_rule(self, rule_id: str) -> List[Finding]:
-        return [f for f in self.findings if f.rule == rule_id]
-
-    def format_text(self) -> str:
-        if not self.findings:
-            return f"{self.kernel}: clean"
-        lines = [str(f) for f in self.findings]
-        lines.append(
-            f"{self.kernel}: {len(self.errors)} error(s), "
-            f"{len(self.warnings)} warning(s)"
-        )
-        return "\n".join(lines)
+    def subject(self) -> str:
+        return self.kernel
 
     def to_dict(self) -> Dict[str, object]:
-        return {
-            "kernel": self.kernel,
-            "ok": self.ok,
-            "errors": len(self.errors),
-            "warnings": len(self.warnings),
-            "findings": [f.to_dict() for f in self.findings],
-        }
-
-    def to_json(self, indent: Optional[int] = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+        out = super().to_dict()
+        # Historical key: lint reports name their subject "kernel".
+        out["kernel"] = out.pop("subject")
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -189,30 +140,17 @@ class LintContext:
 # ----------------------------------------------------------------------
 Checker = Callable[[LintContext], Iterator[Tuple[int, str]]]
 
+#: One registered rule: stable ID, severity, title, and its checker.
+LintRule = Rule
 
-@dataclass(frozen=True)
-class LintRule:
-    """One registered rule: stable ID, severity, and its checker."""
+_REGISTRY: RuleRegistry[Checker] = RuleRegistry("lint")
 
-    rule_id: str
-    severity: Severity
-    title: str
-    check: Checker
+#: The live rule catalogue, keyed by stable ID (aliases the registry's
+#: mapping — historical public name, used by tests and the CLI).
+RULES: Dict[str, Rule[Checker]] = _REGISTRY.rules
 
-
-RULES: Dict[str, LintRule] = {}
-
-
-def rule(rule_id: str, severity: Severity, title: str):
-    """Register a checker under ``rule_id`` in :data:`RULES`."""
-
-    def register(fn: Checker) -> Checker:
-        if rule_id in RULES:  # pragma: no cover - programming error
-            raise ValueError(f"duplicate lint rule id {rule_id!r}")
-        RULES[rule_id] = LintRule(rule_id, severity, title, fn)
-        return fn
-
-    return register
+#: Decorator registering a checker under a stable ID in :data:`RULES`.
+rule = _REGISTRY.rule
 
 
 # ----------------------------------------------------------------------

@@ -251,6 +251,32 @@ def cmd_lint(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_sanitize(args) -> int:
+    """Statically check the simulator's own source (``repro sanitize``)."""
+    from pathlib import Path
+
+    from .sanitize import RULES, sanitize_tree
+
+    rules = None
+    if args.rule:
+        unknown = [r for r in args.rule if r not in RULES]
+        if unknown:
+            print(
+                f"unknown sanitize rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULES))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = args.rule
+    root = Path(args.root) if args.root else None
+    report = sanitize_tree(root, rules=rules)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args) -> int:
     from . import trace as trace_mod
     from .errors import TraceError
@@ -742,6 +768,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--scale", type=float, default=1.0)
     p_lint.add_argument("--fermi", action="store_true")
 
+    p_sanitize = sub.add_parser(
+        "sanitize",
+        help="statically check the simulator's own source (fingerprint "
+        "soundness, determinism, probe parity, protocol conformance); "
+        "see docs/static_analysis.md",
+    )
+    p_sanitize.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="restrict to this rule ID (repeatable; default: all rules)",
+    )
+    p_sanitize.add_argument(
+        "--all", action="store_true",
+        help="run every rule (the default; accepted for symmetry with "
+        "'repro lint --all')",
+    )
+    p_sanitize.add_argument("--format", choices=["text", "json"],
+                            default="text")
+    p_sanitize.add_argument(
+        "--root", default=None,
+        help="tree to analyze (default: the installed repro package)",
+    )
+
     p_trace = sub.add_parser(
         "trace",
         help="record, replay, or inspect trace-driven simulation traces",
@@ -929,6 +977,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": cmd_figure,
         "tables": cmd_tables,
         "lint": cmd_lint,
+        "sanitize": cmd_sanitize,
         "trace": cmd_trace,
         "events": cmd_events,
         "serve": cmd_serve,

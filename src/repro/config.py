@@ -13,7 +13,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import ClassVar, Dict, FrozenSet, Optional
 
 from .errors import ConfigError
 
@@ -195,6 +195,37 @@ class GPUConfig:
     #: :meth:`fingerprint`.  See ``docs/backends.md``.
     backend: str = "python"
 
+    #: Knobs *excluded* from :meth:`fingerprint`.  Every entry is
+    #: bit-identical by contract — switching it changes how fast a result
+    #: is produced, never what the result is — so configurations that
+    #: differ only here share result-cache entries.  The set is validated
+    #: against the dataclass field names at import time (a typo'd or
+    #: renamed knob fails immediately, not by silently hashing everything)
+    #: and read as ground truth by the FPR001 sanitize rule
+    #: (:mod:`repro.sanitize`): any timing-path read of one of these
+    #: fields must carry a waiver explaining why the read cannot perturb
+    #: results.  See docs/static_analysis.md ("Sanitizing the simulator").
+    FINGERPRINT_EXCLUDED: ClassVar[FrozenSet[str]] = frozenset({
+        "issue_core",
+        "frontend",
+        "check_cpl_bounds",
+        "clock",
+        "shards",
+        "events",
+        "backend",
+    })
+
+    #: The *included* set for :meth:`functional_fingerprint`: payload key
+    #: -> dotted field path.  Only parameters that change the recorded
+    #: per-warp instruction streams belong here (warp width shapes active
+    #: masks; the L1D line size defines the coalescing granularity baked
+    #: into recorded line addresses).  Validated against the dataclass
+    #: field names at import time, like :data:`FINGERPRINT_EXCLUDED`.
+    FUNCTIONAL_FINGERPRINT_FIELDS: ClassVar[Dict[str, str]] = {
+        "warp_size": "warp_size",
+        "l1_line_size": "l1d.line_size",
+    }
+
     def __post_init__(self) -> None:
         if self.num_sms <= 0:
             raise ConfigError("num_sms must be positive")
@@ -327,13 +358,8 @@ class GPUConfig:
         by contract, so results are shared between them.
         """
         payload = dataclasses.asdict(self)
-        payload.pop("issue_core", None)
-        payload.pop("frontend", None)
-        payload.pop("check_cpl_bounds", None)
-        payload.pop("clock", None)
-        payload.pop("shards", None)
-        payload.pop("events", None)
-        payload.pop("backend", None)
+        for name in self.FINGERPRINT_EXCLUDED:
+            del payload[name]
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -348,9 +374,46 @@ class GPUConfig:
         line size, latencies, CACP, issue core.  Sweeping schemes therefore
         reuses one trace per (workload, scale) instead of re-recording.
         """
-        payload = {
-            "warp_size": self.warp_size,
-            "l1_line_size": self.l1d.line_size,
-        }
+        payload = {}
+        for key, path in self.FUNCTIONAL_FINGERPRINT_FIELDS.items():
+            value: object = self
+            for part in path.split("."):
+                value = getattr(value, part)
+            payload[key] = value
         blob = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _validate_fingerprint_spec() -> None:
+    """Fail at import time if a fingerprint constant names a missing field.
+
+    Renaming or removing a config knob without updating
+    :data:`GPUConfig.FINGERPRINT_EXCLUDED` /
+    :data:`GPUConfig.FUNCTIONAL_FINGERPRINT_FIELDS` would otherwise change
+    what gets hashed silently — exactly the aliasing failure mode the
+    constants exist to rule out.
+    """
+    gpu_fields = {f.name for f in dataclasses.fields(GPUConfig)}
+    unknown = GPUConfig.FINGERPRINT_EXCLUDED - gpu_fields
+    if unknown:
+        raise ConfigError(
+            "FINGERPRINT_EXCLUDED names unknown GPUConfig field(s): "
+            f"{sorted(unknown)}"
+        )
+    cache_fields = {f.name for f in dataclasses.fields(CacheConfig)}
+    for key, path in GPUConfig.FUNCTIONAL_FINGERPRINT_FIELDS.items():
+        parts = path.split(".")
+        if parts[0] not in gpu_fields:
+            raise ConfigError(
+                f"FUNCTIONAL_FINGERPRINT_FIELDS[{key!r}] names unknown "
+                f"GPUConfig field {parts[0]!r}"
+            )
+        # The only nesting today is GPUConfig.<cache>.<CacheConfig field>.
+        if len(parts) > 2 or (len(parts) == 2 and parts[1] not in cache_fields):
+            raise ConfigError(
+                f"FUNCTIONAL_FINGERPRINT_FIELDS[{key!r}] has unresolvable "
+                f"path {path!r}"
+            )
+
+
+_validate_fingerprint_spec()

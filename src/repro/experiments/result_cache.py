@@ -139,7 +139,7 @@ def clear() -> int:
     directory = cache_dir()
     removed = 0
     if directory.is_dir():
-        for entry in directory.glob("*.json"):
+        for entry in sorted(directory.glob("*.json")):
             try:
                 entry.unlink()
                 removed += 1

@@ -138,7 +138,7 @@ def dir_stats(directory: os.PathLike, pattern: str) -> dict:
     entries = 0
     total = 0
     if directory.is_dir():
-        for entry in directory.glob(pattern):
+        for entry in sorted(directory.glob(pattern)):
             try:
                 total += entry.stat().st_size
             except OSError:
@@ -169,9 +169,11 @@ def gc_entries(
         return 0
     import time
 
-    now = time.time() if now is None else now
+    # Lock-staleness GC compares host mtimes, so the host clock is the
+    # only meaningful reference; nothing here feeds simulation results.
+    now = time.time() if now is None else now  # sanitize: waive DET002 -- GC staleness is wall-time by definition
     candidates = []
-    for entry in directory.glob(pattern):
+    for entry in sorted(directory.glob(pattern)):
         try:
             mtime = entry.stat().st_mtime
         except OSError:

@@ -126,7 +126,7 @@ def list_events() -> List[Tuple[str, Path]]:
     root = events_dir()
     out = [
         (p.name[: -len(SUFFIX)], p)
-        for p in root.glob(f"*{SUFFIX}")
+        for p in sorted(root.glob(f"*{SUFFIX}"))
         if p.is_file()
     ]
     out.sort()

@@ -1,0 +1,203 @@
+"""OBS001 — probe parity between scalar components and their twins.
+
+The observability contract (docs/observability.md) is that every mode of
+the bit-identical matrix produces *byte-identical* event streams.  Two
+static invariants keep that true:
+
+1.  **Override parity.**  If a subclass overrides a method whose base
+    implementation emits event kinds (the scalar/vector twin pattern:
+    ``VectorSM(StreamingMultiprocessor)``), the override must either call
+    ``super()`` (inheriting the emission) or emit the same kinds itself.
+    An override that silently drops an emission desynchronizes the
+    streams only when that subclass is selected — exactly the bug class
+    runtime parity tests catch late and expensively.
+
+2.  **Kind coverage.**  When the analyzed tree defines the ``Ev`` enum,
+    every member must have at least one emission site somewhere in the
+    tree (a kind nobody emits is dead schema), and every emitted kind
+    must be an ``Ev`` member (an unknown kind would fail schema
+    validation at runtime).
+
+Emission sites are recognized by the established probe idioms::
+
+    self.obs.emit((_EV_WARP_ISSUE, ...))     # module-level alias
+    emit((Ev.WARP_ISSUE, ...))               # local binding of bus.emit
+    _EV_WARP_ISSUE = int(Ev.WARP_ISSUE)      # the alias declaration
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..analysis.common import Severity
+from .registry import Hit, SanitizeContext, hit, rule
+from .source import SourceModule
+
+
+def _kind_from_ev_attr(node: ast.expr) -> Optional[str]:
+    """``Ev.X`` or ``int(Ev.X)`` -> "X"."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "int"
+        and len(node.args) == 1
+    ):
+        node = node.args[0]
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "Ev"
+    ):
+        return node.attr
+    return None
+
+
+def _module_aliases(module: SourceModule) -> Dict[str, str]:
+    """Module-level ``_EV_X = int(Ev.X)`` / ``= Ev.X`` alias bindings."""
+    aliases: Dict[str, str] = {}
+    for stmt in module.tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        kind = _kind_from_ev_attr(stmt.value)
+        if kind is not None:
+            aliases[target.id] = kind
+    return aliases
+
+
+def _emitted_kinds(
+    node: ast.AST, aliases: Dict[str, str]
+) -> Iterator[Tuple[str, int]]:
+    """``(kind, lineno)`` for every recognizable emit site under ``node``."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        is_emit = (isinstance(func, ast.Name) and func.id == "emit") or (
+            isinstance(func, ast.Attribute) and func.attr == "emit"
+        )
+        if not is_emit or not sub.args:
+            continue
+        record = sub.args[0]
+        if not isinstance(record, ast.Tuple) or not record.elts:
+            continue
+        head = record.elts[0]
+        kind = _kind_from_ev_attr(head)
+        if kind is None and isinstance(head, ast.Name):
+            kind = aliases.get(head.id)
+        if kind is not None:
+            yield kind, sub.lineno
+
+
+def _class_methods(cls_node: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls_node.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+def _calls_super(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "super"
+        ):
+            return True
+    return False
+
+
+@rule(
+    "OBS001",
+    Severity.ERROR,
+    "probe parity broken between a component and its twin",
+)
+def check_probe_parity(ctx: SanitizeContext) -> Iterator[Hit]:
+    alias_cache: Dict[str, Dict[str, str]] = {}
+
+    def aliases_of(module: SourceModule) -> Dict[str, str]:
+        if module.rel not in alias_cache:
+            alias_cache[module.rel] = _module_aliases(module)
+        return alias_cache[module.rel]
+
+    # -- override parity -------------------------------------------------
+    for module in ctx.tree.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            own = _class_methods(node)
+            if not own:
+                continue
+            checked: Set[str] = set()
+            for base_mod, base_cls in ctx.tree.resolve_bases(node):
+                base_aliases = aliases_of(base_mod)
+                for name, base_fn in _class_methods(base_cls).items():
+                    if name not in own or name in checked:
+                        continue
+                    checked.add(name)  # nearest base definition governs
+                    base_kinds = {
+                        k for k, _ in _emitted_kinds(base_fn, base_aliases)
+                    }
+                    if not base_kinds:
+                        continue
+                    override = own[name]
+                    if _calls_super(override):
+                        continue
+                    mine = {
+                        k
+                        for k, _ in _emitted_kinds(
+                            override, aliases_of(module)
+                        )
+                    }
+                    missing = base_kinds - mine
+                    if missing:
+                        yield hit(
+                            module,
+                            override.lineno,
+                            f"override of {base_cls.name}.{name} drops "
+                            f"emission of {sorted(missing)}; twins must "
+                            "produce identical event streams — call "
+                            "super() or emit the same kinds",
+                        )
+
+    # -- kind coverage ---------------------------------------------------
+    ev_entry = ctx.tree.classes.get("Ev")
+    if ev_entry is None:
+        return
+    ev_module, ev_cls = ev_entry
+    members: Dict[str, int] = {}
+    for stmt in ev_cls.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                members[target.id] = stmt.lineno
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            members[stmt.target.id] = stmt.lineno
+
+    sites: Dict[str, Tuple[SourceModule, int]] = {}
+    for module in ctx.tree.modules:
+        for kind, lineno in _emitted_kinds(module.tree, aliases_of(module)):
+            sites.setdefault(kind, (module, lineno))
+
+    for kind, lineno in members.items():
+        if kind not in sites:
+            yield hit(
+                ev_module,
+                lineno,
+                f"Ev.{kind} has no emission site anywhere in the tree; "
+                "dead schema entries rot the exporter and collectors",
+            )
+    for kind, (module, lineno) in sorted(sites.items()):
+        if kind not in members:
+            yield hit(
+                module,
+                lineno,
+                f"emits kind {kind!r}, which is not an Ev member; the "
+                "record would fail schema validation",
+            )

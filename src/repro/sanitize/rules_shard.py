@@ -1,0 +1,119 @@
+"""SHD001 — shard safety of worker-closure modules.
+
+Sharded replay (``GPUConfig.shards=N``, :mod:`repro.gpu.sharded`) forks
+worker processes that own disjoint SM partitions; the L2 and DRAM stay
+*coordinator-owned*, reached only through the ``_SharedMemoryClient``
+proxy's message protocol.  A worker module that touched ``BankedL2`` /
+``DRAMModel`` state directly would operate on the fork-time *copy* —
+timing would silently diverge from serial replay, the exact bug class
+conservative PDES exists to prevent.
+
+The worker closure is every module a forked worker imports: ``sm/``,
+``simt/``, ``scheduling/``, ``core/``, the L1-side half of ``memory/``,
+and the trace replay/format modules.  Inside it this rule flags:
+
+* imports of ``repro.memory.l2`` / ``repro.memory.dram`` (absolute or
+  relative) and imports of the ``BankedL2`` / ``DRAMModel`` names;
+* runtime references to those names;
+* attribute access to coordinator-owned state through the hierarchy
+  (``hierarchy.l2`` / ``hierarchy.dram``) — workers must call
+  ``hierarchy.access(...)``, which the sharded runner swaps for the
+  proxy.
+
+``if TYPE_CHECKING:`` blocks are exempt: typing-only imports never
+execute in a worker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..analysis.common import Severity
+from .registry import Hit, SanitizeContext, hit, rule
+from .source import SourceModule, terminal_name, walk_runtime
+
+#: Module prefixes forked workers import wholesale.
+WORKER_PREFIXES: Tuple[str, ...] = ("sm/", "simt/", "scheduling/", "core/")
+#: Individual worker-closure modules (the L1-side half of ``memory/``
+#: plus trace replay).
+WORKER_FILES = frozenset({
+    "memory/cache.py",
+    "memory/mshr.py",
+    "memory/request.py",
+    "memory/replacement.py",
+    "memory/data.py",
+    "trace/replay.py",
+    "trace/format.py",
+})
+#: Coordinator-owned module suffixes and class names.
+_COORD_MODULES = ("memory.l2", "memory.dram")
+_COORD_RELATIVE = frozenset({"l2", "dram"})
+_COORD_NAMES = frozenset({"BankedL2", "DRAMModel"})
+_HIERARCHY_RECEIVERS = frozenset({"hierarchy", "memory_hierarchy"})
+
+
+def in_worker_closure(module: SourceModule) -> bool:
+    return module.rel.startswith(WORKER_PREFIXES) or module.rel in WORKER_FILES
+
+
+@rule(
+    "SHD001",
+    Severity.ERROR,
+    "worker-closure module references coordinator-owned L2/DRAM state",
+)
+def check_shard_safety(ctx: SanitizeContext) -> Iterator[Hit]:
+    for module in ctx.tree.modules:
+        if not in_worker_closure(module):
+            continue
+        for node in walk_runtime(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.endswith(_COORD_MODULES):
+                        yield hit(
+                            module,
+                            node.lineno,
+                            f"imports coordinator-owned module "
+                            f"{alias.name!r} into the worker closure",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if source.endswith(_COORD_MODULES) or (
+                    node.level > 0 and source in _COORD_RELATIVE
+                ):
+                    yield hit(
+                        module,
+                        node.lineno,
+                        f"imports from coordinator-owned module "
+                        f"{source!r} into the worker closure",
+                    )
+                    continue
+                for alias in node.names:
+                    if alias.name in _COORD_NAMES:
+                        yield hit(
+                            module,
+                            node.lineno,
+                            f"imports coordinator-owned class "
+                            f"{alias.name!r} into the worker closure",
+                        )
+            elif isinstance(node, ast.Name):
+                if node.id in _COORD_NAMES and isinstance(node.ctx, ast.Load):
+                    yield hit(
+                        module,
+                        node.lineno,
+                        f"references coordinator-owned class {node.id!r}; "
+                        "workers must go through the hierarchy proxy",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    node.attr in ("l2", "dram")
+                    and terminal_name(node.value) in _HIERARCHY_RECEIVERS
+                ):
+                    yield hit(
+                        module,
+                        node.lineno,
+                        f"touches hierarchy.{node.attr} directly; in a "
+                        "sharded run that is the coordinator's state — "
+                        "call hierarchy.access(...) so the proxy can "
+                        "intercept",
+                    )

@@ -253,7 +253,7 @@ class ReproServer:
     def _evict_finished(self) -> None:
         before = set(self.queue.jobs)
         self.queue.evict_finished(self.config.keep_finished)
-        for job_id in before - set(self.queue.jobs):
+        for job_id in sorted(before - set(self.queue.jobs)):
             self._subscribers.pop(job_id, None)
             try:
                 self._progress_path(job_id).unlink()

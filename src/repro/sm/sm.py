@@ -138,6 +138,7 @@ class StreamingMultiprocessor:
         #: it can actually have changed).
         self._mshr_touched = False
         # ---- event-driven ready-warp core state -----------------------
+        # sanitize: waive FPR001 -- dispatch between bit-identical issue cores (event/scan parity grid)
         self._event_core = config.issue_core == "event"
         #: Per-slot min-heaps of ``(wake_cycle, dynamic_id, warp)``.  A warp
         #: is queued here exactly when ``warp._queued`` is True; entries are

@@ -149,7 +149,7 @@ def clear() -> int:
     directory = trace_dir()
     removed = 0
     if directory.is_dir():
-        for path in directory.glob(f"*{TRACE_SUFFIX}"):
+        for path in sorted(directory.glob(f"*{TRACE_SUFFIX}")):
             try:
                 path.unlink()
                 removed += 1

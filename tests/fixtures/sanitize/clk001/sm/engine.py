@@ -1,0 +1,10 @@
+"""Seeded violation: a clock-driven component the skip clock cannot see.
+
+``Engine`` defines ``tick`` in a timing-path module but neither defines
+nor inherits ``next_event_time()``/``next_wake_time()`` (CLK001).
+"""
+
+
+class Engine:
+    def tick(self, now):
+        return False

@@ -1,0 +1,7 @@
+"""Seeded violation: draws from the process-global RNG (DET001)."""
+
+import random
+
+
+def jitter():
+    return random.random()

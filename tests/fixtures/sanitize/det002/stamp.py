@@ -1,0 +1,7 @@
+"""Seeded violation: reads the host wall clock outside serve/ (DET002)."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,11 @@
+"""Seeded violation: iterates glob results in filesystem order (DET003)."""
+
+from pathlib import Path
+
+
+def purge(directory: Path) -> int:
+    removed = 0
+    for path in directory.glob("*.trace"):
+        path.unlink()
+        removed += 1
+    return removed

@@ -1,0 +1,16 @@
+"""Seeded violation: an override that drops an emission site (OBS001).
+
+``Twin.probe`` overrides ``Scalar.probe`` without calling ``super()`` and
+without emitting ``Ev.PING`` itself, so the twin's event stream silently
+diverges from the scalar's.
+"""
+
+
+class Scalar:
+    def probe(self, now):
+        self.obs.emit((Ev.PING, now, self.sm_id))
+
+
+class Twin(Scalar):
+    def probe(self, now):
+        self.count += 1

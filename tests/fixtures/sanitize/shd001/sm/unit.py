@@ -1,0 +1,13 @@
+"""Seeded violation: worker-closure module importing coordinator state.
+
+``sm/`` modules run inside forked shard workers; importing the
+coordinator-owned L2 into the closure (SHD001) means a worker would
+operate on its fork-time copy and silently diverge from serial replay.
+"""
+
+from ..memory.l2 import BankedL2
+
+
+class Unit:
+    def __init__(self, l2: BankedL2) -> None:
+        self.l2 = l2
