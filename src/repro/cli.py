@@ -5,6 +5,10 @@ Usage (``python -m repro <command>``)::
     python -m repro list
     python -m repro run --workload kmeans --scheme cawa
     python -m repro sweep --workloads bfs,kmeans --schemes rr,gto,cawa
+    python -m repro sweep --sampled --workloads backprop,pathfinder
+    python -m repro sample calibrate --workloads backprop --rates 0.1,0.25
+    python -m repro sample rates
+    python -m repro sample run --workload backprop --scheme gto
     python -m repro figure 9
     python -m repro tables
     python -m repro lint --all
@@ -86,8 +90,9 @@ def cmd_run(args) -> int:
 def cmd_sweep(args) -> int:
     workloads = args.workloads.split(",") if args.workloads else workload_names()
     schemes = args.schemes.split(",")
+    sampled = False if args.exact else args.sampled
     results = run_sweep(workloads, schemes, scale=args.scale,
-                        config=_base_config(args))
+                        config=_base_config(args), sampled=sampled)
     metric = {
         "ipc": lambda r: round(r.ipc, 3),
         "mpki": lambda r: round(r.l1_mpki, 2),
@@ -104,6 +109,108 @@ def cmd_sweep(args) -> int:
             )
         print("\nSpeedup over rr:")
         print(format_table(["workload"] + schemes, rows))
+    if sampled:
+        metric_key = {"ipc": "ipc", "mpki": "l1_mpki",
+                      "cycles": "cycles"}[args.metric]
+        rows = []
+        for workload in workloads:
+            row = [workload]
+            for scheme in schemes:
+                result = results[(workload, scheme)]
+                est = getattr(result, "ci", {}).get(metric_key)
+                row.append(f"+/-{100.0 * est.rel_half_width:.1f}%"
+                           if est is not None else "exact")
+            rows.append(row)
+        print(f"\nsampled 95% CI half-width ({args.metric}):")
+        print(format_table(["workload"] + schemes, rows))
+    return 0
+
+
+def cmd_sample(args) -> int:
+    """Calibrate, inspect, or run the sampled trace-replay frontend."""
+    import json
+
+    from .sampling import calibrate as sampling_calibrate
+    from .stats.report import format_estimate_table
+
+    if args.sample_command == "calibrate":
+        workloads = args.workloads.split(",")
+        schemes = args.schemes.split(",")
+        rates = tuple(float(r) for r in args.rates.split(","))
+        report = sampling_calibrate.calibrate(
+            workloads, schemes=schemes, rates=rates, scale=args.scale,
+            config=_base_config(args), mode=args.mode,
+            target_rel_err=args.target, safety=args.safety,
+            persist=not args.no_persist,
+        )
+        for workload, entry in report["workloads"].items():
+            spec = entry["spec"]
+            if spec is None:
+                print(f"{workload:<16} no rate met the "
+                      f"{entry['target_rel_err']:.0%} target -- sampled "
+                      "sweeps will run this workload exactly")
+                continue
+            stats = entry["rates"][spec.split(":", 1)[1]]
+            fraction = entry.get("replay_fraction", 1.0)
+            speedup = 1.0 / fraction if fraction else 1.0
+            print(f"{workload:<16} {spec:<14} worst err "
+                  f"{stats['max_rel_err']:.1%} ({stats['worst_metric']}), "
+                  f"replays {fraction:.1%} of records (~{speedup:.0f}x)")
+        if not args.no_persist:
+            print(f"table -> {sampling_calibrate.table_path()}")
+        return 0
+
+    if args.sample_command == "rates":
+        table = sampling_calibrate.load_table()
+        if args.format == "json":
+            print(json.dumps(table, indent=2, sort_keys=True))
+            return 0
+        if not table["workloads"]:
+            print(f"no calibration table at {sampling_calibrate.table_path()}")
+            return 0
+        rows = []
+        for workload, entry in sorted(table["workloads"].items()):
+            spec = entry.get("spec")
+            envelope = entry.get("envelope") or {}
+            fraction = entry.get("replay_fraction")
+            rows.append([
+                workload,
+                spec if spec else "exact (failed target)",
+                f"{fraction:.1%}" if fraction is not None else "-",
+                f"{max(envelope.values()):.1%}" if envelope else "-",
+                f"{entry.get('scale', 1.0):g}",
+            ])
+        print(format_table(
+            ["workload", "spec", "replay", "max envelope", "scale"], rows))
+        print(f"table: {sampling_calibrate.table_path()}")
+        return 0
+
+    # sample run: one sampled cell with its full CI table.
+    spec = args.spec
+    if spec is None:
+        spec, _envelope, _source = sampling_calibrate.lookup(args.workload)
+        if spec is None:
+            print(f"error: calibration marked {args.workload!r} unsafe to "
+                  "sample at every candidate rate; pass --spec to override",
+                  file=sys.stderr)
+            return 2
+    cfg = _base_config(args).with_frontend("trace").with_sampling(spec)
+    result = run_scheme(args.workload, args.scheme, scale=args.scale,
+                        config=cfg, use_cache=not args.force)
+    info = getattr(result, "info", None)
+    if info is None:  # pragma: no cover - sampling off implies exact result
+        print(result.summary())
+        return 0
+    print(f"{args.workload} / {args.scheme} sampled {info.spec} "
+          f"(seed {info.seed}): {info.sampled_blocks}/{info.total_blocks} "
+          f"blocks in {info.strata} strata, replays "
+          f"{info.replay_fraction:.1%} of records "
+          f"(~{info.estimated_speedup:.0f}x), "
+          f"envelope: {info.envelope_source}")
+    from .stats.sampling import REPORT_METRICS
+
+    order = [name for name in REPORT_METRICS if name in result.ci]
+    print(format_estimate_table(result.ci, order=order))
     return 0
 
 
@@ -371,6 +478,7 @@ def _events_load_or_record(args, config: GPUConfig):
         "scale": args.scale,
         "cycles": result.cycles,
         "frontend": result.frontend,
+        "sampling": cfg.sampling,
         "fingerprint": cfg.fingerprint(),
     }
     if not getattr(args, "no_store", False):
@@ -426,6 +534,7 @@ def cmd_events(args) -> int:
                 "scale": args.scale,
                 "cycles": result.cycles,
                 "frontend": result.frontend,
+                "sampling": cfg.sampling,
                 "fingerprint": cfg.fingerprint(),
             })
         print(result.summary())
@@ -535,7 +644,7 @@ def _client_spec_from_args(args) -> dict:
     if args.priority != "auto":
         spec["priority"] = args.priority
     device = {}
-    for knob in ("backend", "clock", "frontend"):
+    for knob in ("backend", "clock", "frontend", "sampling"):
         value = getattr(args, knob, None)
         if value:
             device[knob] = value
@@ -725,6 +834,15 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["ipc", "mpki", "cycles"])
     p_sweep.add_argument("--scale", type=float, default=1.0)
     p_sweep.add_argument("--fermi", action="store_true")
+    p_sweep.add_argument(
+        "--sampled", nargs="?", const=True, default=False, metavar="SPEC",
+        help="statistical replay: estimate each cell from a sampled subset "
+        "of its trace with 95%% CIs (bare flag: per-workload calibrated "
+        "rates from 'repro sample calibrate'; a SPEC such as 'blocks:0.1' "
+        "forces one rate everywhere); see docs/sampling.md",
+    )
+    p_sweep.add_argument("--exact", action="store_true",
+                         help="force exact replay (overrides --sampled)")
 
     p_prof = sub.add_parser(
         "profile",
@@ -816,6 +934,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_trep.add_argument("--scale", type=float, default=1.0)
     p_trep.add_argument("--fermi", action="store_true")
     trace_sub.add_parser("info", help="list stored traces and their headers")
+
+    p_sample = sub.add_parser(
+        "sample",
+        help="calibrate and run sampled trace replay with error bars "
+        "(see docs/sampling.md)",
+    )
+    sample_sub = p_sample.add_subparsers(dest="sample_command", required=True)
+    p_scal = sample_sub.add_parser(
+        "calibrate",
+        help="sweep sampling rates against exact runs; persist safe rates",
+    )
+    p_scal.add_argument("--workloads", required=True,
+                        help="comma-separated workload names")
+    p_scal.add_argument("--schemes", default="rr,gto")
+    p_scal.add_argument("--rates", default="0.05,0.1,0.25,0.5",
+                        help="comma-separated candidate sampling rates")
+    p_scal.add_argument("--scale", type=float, default=1.0)
+    p_scal.add_argument("--mode", choices=["blocks", "intervals"],
+                        default="blocks")
+    p_scal.add_argument("--target", type=float, default=0.08,
+                        help="worst-case relative-error target (default 0.08)")
+    p_scal.add_argument("--safety", type=float, default=2.0,
+                        help="envelope inflation over the measured error")
+    p_scal.add_argument("--no-persist", action="store_true",
+                        help="report without writing the rate table")
+    p_scal.add_argument("--fermi", action="store_true")
+    p_srates = sample_sub.add_parser(
+        "rates", help="print the persisted per-workload safe-rate table"
+    )
+    p_srates.add_argument("--format", choices=["text", "json"],
+                          default="text")
+    p_srun = sample_sub.add_parser(
+        "run", help="run one cell sampled and print its per-metric CI table"
+    )
+    p_srun.add_argument("--workload", required=True,
+                        choices=workload_names(include_synthetic=True))
+    p_srun.add_argument("--scheme", default="rr", choices=sorted(SCHEMES))
+    p_srun.add_argument("--scale", type=float, default=1.0)
+    p_srun.add_argument("--spec", default=None,
+                        help="sampling spec, e.g. 'blocks:0.25' (default: "
+                        "the calibrated rate, else the built-in default)")
+    p_srun.add_argument("--force", action="store_true",
+                        help="bypass the result cache")
+    p_srun.add_argument("--fermi", action="store_true")
 
     p_events = sub.add_parser(
         "events",
@@ -914,6 +1076,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_csub.add_argument("--clock", choices=["cycle", "skip"], default=None)
     p_csub.add_argument("--frontend", choices=["execute", "trace"],
                         default=None)
+    p_csub.add_argument("--sampling", default=None, metavar="SPEC",
+                        help="sampled replay spec for run jobs, e.g. "
+                        "'blocks:0.25' (changes the answer: never "
+                        "coalesces with exact jobs)")
     p_csub.add_argument("--shards", type=int, default=0)
     p_csub.add_argument("--watch", action="store_true",
                         help="stream progress, then print the summary")
@@ -973,6 +1139,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "sample": cmd_sample,
         "profile": cmd_profile,
         "figure": cmd_figure,
         "tables": cmd_tables,

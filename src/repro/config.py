@@ -194,6 +194,27 @@ class GPUConfig:
     #: ``issue_core``/``clock``, the knob is excluded from
     #: :meth:`fingerprint`.  See ``docs/backends.md``.
     backend: str = "python"
+    #: Statistical sampling of the trace frontend (:mod:`repro.sampling`):
+    #: ``"off"`` (default, exact simulation), ``"blocks:P"`` (seeded
+    #: stratified cluster sampling of thread blocks at rate ``P``), or
+    #: ``"intervals:P"`` (barrier-aligned truncation of every warp stream
+    #: to its leading fraction ``P``).  Sampled runs replay only the
+    #: selected subset through the unchanged timing model and extrapolate
+    #: the rest (:class:`repro.stats.sampling.SampledRunResult`), so —
+    #: unlike every knob in :data:`FINGERPRINT_EXCLUDED` — this one
+    #: **changes the reported numbers** and is deliberately *included* in
+    #: :meth:`fingerprint`: sampled and exact results never share a
+    #: result-cache entry or a serve coalescing group.  Requires
+    #: ``frontend='trace'`` (there is nothing to subsample without a
+    #: recorded trace); :meth:`with_sampling` and the experiment runner
+    #: switch the frontend automatically.  Selection is deterministic
+    #: given the config: the sampler's RNG is seeded from ``(sampling,
+    #: sampling_seed, trace identity)``.  See ``docs/sampling.md``.
+    sampling: str = "off"
+    #: Extra entropy for the sampling subset selection.  Fingerprinted,
+    #: like ``sampling`` itself: two seeds select different subsets and
+    #: therefore produce (slightly) different estimates.
+    sampling_seed: int = 0
 
     #: Knobs *excluded* from :meth:`fingerprint`.  Every entry is
     #: bit-identical by contract — switching it changes how fast a result
@@ -269,6 +290,18 @@ class GPUConfig:
         from .obs.bus import parse_spec
 
         parse_spec(self.events)
+        # Same pattern for the sampling spec (repro.sampling.spec is a
+        # leaf; the heavy sampling machinery never loads from here).
+        from .sampling.spec import parse_sampling_spec
+
+        sampling = parse_sampling_spec(self.sampling)
+        if sampling.enabled and self.frontend != "trace":
+            raise ConfigError(
+                f"sampling={self.sampling!r} requires frontend='trace'; "
+                "sampled replay subsamples a recorded trace, which the "
+                "execute frontend does not have (use "
+                "with_sampling(), which switches the frontend for you)"
+            )
 
     @classmethod
     def fermi_gtx480(cls, **overrides) -> "GPUConfig":
@@ -346,6 +379,24 @@ class GPUConfig:
         """Return a copy using hot-path backend ``backend`` (python/vector)."""
         return replace(self, backend=backend)
 
+    def with_sampling(self, sampling: str, seed: Optional[int] = None) -> "GPUConfig":
+        """Return a copy with trace-sampling spec ``sampling``.
+
+        Enabling sampling switches the frontend to ``"trace"`` (validation
+        rejects sampled execute-frontend configs); disabling it leaves the
+        frontend untouched.  ``seed`` optionally re-seeds the subset
+        selection (see :attr:`sampling_seed`).
+        """
+        frontend = self.frontend
+        if sampling != "off":
+            frontend = "trace"
+        return replace(
+            self,
+            sampling=sampling,
+            frontend=frontend,
+            sampling_seed=self.sampling_seed if seed is None else seed,
+        )
+
     def fingerprint(self) -> str:
         """Stable short hash of every timing-relevant parameter.
 
@@ -355,7 +406,10 @@ class GPUConfig:
         ``frontend``, ``clock`` and ``shards`` are deliberately *excluded*
         — the event/scan cores, the execute/trace frontends, the
         cycle/skip clocks and serial/sharded replay are all bit-identical
-        by contract, so results are shared between them.
+        by contract, so results are shared between them.  ``sampling``
+        (and ``sampling_seed``) are deliberately **included**: a sampled
+        run reports statistical estimates, not the exact numbers, so it
+        must never alias an exact run's cache entry.
         """
         payload = dataclasses.asdict(self)
         for name in self.FINGERPRINT_EXCLUDED:

@@ -38,7 +38,7 @@ from typing import Optional
 
 from .. import __version__
 from .. import fslock
-from ..stats.counters import RunResult
+from ..stats.counters import RunResult, result_from_dict
 
 #: Environment variable overriding the cache directory.
 ENV_DIR = "REPRO_CACHE_DIR"
@@ -111,7 +111,7 @@ def load(key: str) -> Optional[RunResult]:
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
-        return RunResult.from_dict(data)
+        return result_from_dict(data)
     except FileNotFoundError:
         return None
     except (OSError, ValueError, KeyError, TypeError):

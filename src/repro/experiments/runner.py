@@ -24,6 +24,16 @@ workload once under the execute frontend *with a recorder attached*, so the
 cell's result and its trace are produced by the same simulation.  Because
 traces ignore timing-only knobs, a scheme sweep records once per workload
 and replays every other cell.
+
+With ``config.sampling != "off"`` (see :mod:`repro.sampling` and
+``docs/sampling.md``) the trace path replays only the config-selected
+subset of blocks or warp intervals and returns a
+:class:`~repro.stats.sampling.SampledRunResult` — extrapolated metrics
+with per-metric 95% confidence intervals.  ``run_sweep(sampled=True)``
+drives this per workload from the calibrated safe-rate table
+(``repro sample calibrate``); sampled and exact results live under
+distinct result-cache keys because ``sampling`` is part of the config
+fingerprint.
 """
 
 from __future__ import annotations
@@ -35,7 +45,7 @@ from ..config import GPUConfig
 from ..core.cawa import apply_scheme
 from ..gpu import GPU
 from ..stats.accuracy import CriticalityAccuracyTracker
-from ..stats.counters import RunResult
+from ..stats.counters import RunResult, result_from_dict
 from ..stats.report import format_table
 from ..stats.reuse import ReuseDistanceProfiler
 from ..workloads import make_workload
@@ -55,6 +65,13 @@ def build_oracle(workload: str, scale: float = 1.0, config: Optional[GPUConfig] 
     key = (workload, scale)
     if key in _ORACLE_CACHE:
         return _ORACLE_CACHE[key]
+    # The oracle must profile every warp of every block: a sampled
+    # profiling run would only know the sampled subset and, for blocks
+    # mode, under renumbered ids.  Always profile exactly; sampled CAWS
+    # replays remap the full oracle onto their subset
+    # (:func:`repro.sampling.replay.remap_oracle`).
+    if config is not None and config.sampling != "off":
+        config = config.with_sampling("off")
     result = run_scheme(workload, "rr", scale=scale, config=config)
     oracle: Dict[Tuple[int, int], float] = {}
     for block in result.blocks:
@@ -96,9 +113,12 @@ def run_scheme(
     ``blocks`` are :class:`~repro.stats.counters.BlockSummary` snapshots,
     which duck-type the live blocks for every analysis in this package.
     """
-    key = (workload, scheme, scale, with_accuracy, with_reuse,
-           tuple(sorted(workload_kwargs.items())))
     base = config or GPUConfig.default_sim()
+    # The config fingerprint is part of the memo key: without it, two runs
+    # differing only in fingerprinted knobs (cache geometry, sampling, ...)
+    # would alias to the same in-process entry.
+    key = (workload, scheme, scale, with_accuracy, with_reuse,
+           tuple(sorted(workload_kwargs.items())), base.fingerprint())
     # Event recording (config.events != "off") is excluded from the config
     # fingerprint — a cached result could not carry the recorded stream —
     # so recording runs bypass both cache layers entirely.
@@ -178,6 +198,12 @@ def _trace_frontend_run(
     replay computes no lane values, so there is nothing to verify; the
     parity suite (``tests/test_trace_parity.py``) is the replay-side
     correctness guarantee.
+
+    ``cfg.sampling != "off"`` replays only the config-selected subset of
+    the trace and extrapolates (:func:`repro.sampling.replay.replay_sampled`);
+    a trace miss still records the *full* trace (exactly, under the execute
+    frontend) before sampling it, so the subset is always drawn from the
+    complete stream.
     """
     # Local import: repro.trace pulls in result_cache and the GPU; keeping
     # it out of module scope avoids an import cycle with repro.gpu.
@@ -186,6 +212,11 @@ def _trace_frontend_run(
     kwargs = dict(workload_kwargs) if workload_kwargs else None
     program = trace_mod.load_program(workload, scale, cfg, kwargs)
     if program is not None:
+        if cfg.sampling != "off":
+            return _sampled_replay(
+                workload, program, cfg, scheme, oracle,
+                issue_observers, l1_observers,
+            )
         results = trace_mod.replay_program(
             program, cfg, scheme=scheme, oracle=oracle,
             observers=issue_observers, l1_observers=l1_observers,
@@ -198,15 +229,20 @@ def _trace_frontend_run(
     # this cell's execute-frontend result for free.
     # Shards only apply to replay; the recording run is a plain serial
     # execute-frontend run (shards=1 first: validation rejects sharded
-    # non-trace configs).
-    exec_cfg = cfg.with_shards(1).with_frontend("execute")
+    # non-trace configs; sampling=off likewise — the execute frontend
+    # cannot sample, and the recording must cover every block).
+    exec_cfg = cfg.with_shards(1).with_sampling("off").with_frontend("execute")
     recorder = trace_mod.TraceRecorder(exec_cfg)
     gpu = GPU(exec_cfg, oracle=oracle)
     gpu.attach_recorder(recorder)
-    for observer in issue_observers:
+    # When the cell is sampled, observers attach to the sampled replay
+    # below (whose result is the one returned), not to the discarded
+    # recording run — attaching to both would double-count events.
+    sampled = cfg.sampling != "off"
+    for observer in issue_observers if not sampled else ():
         for sm in gpu.sms:
             sm.issue_observers.append(observer)
-    for observer in l1_observers:
+    for observer in l1_observers if not sampled else ():
         for sm in gpu.sms:
             sm.l1d.observers.append(observer)
     wl = make_workload(workload, scale=scale, **workload_kwargs)
@@ -214,7 +250,41 @@ def _trace_frontend_run(
     program = recorder.finish(workload=workload, scale=scale, scheme=scheme)
     trace_mod.store_program(program, workload, scale, cfg, kwargs)
     result.trace_id = program.trace_id
+    if sampled:
+        # The caller asked for a sampled result; the exact recording run
+        # above was the price of the missing trace.  Replay the sampled
+        # subset so the returned (and cached) result matches the config.
+        return _sampled_replay(
+            workload, program, cfg, scheme, oracle,
+            issue_observers, l1_observers,
+        )
     return result
+
+
+def _sampled_replay(
+    workload: str,
+    program,
+    cfg: GPUConfig,
+    scheme: str,
+    oracle,
+    issue_observers: list,
+    l1_observers: list,
+):
+    """Sampled replay of one cell, with the calibrated envelope applied.
+
+    The confidence envelope is looked up by workload name from the
+    persisted calibration table; an uncalibrated (or differently-rated)
+    cell falls back to the conservative default envelope.
+    """
+    from ..sampling import calibrate as sampling_calibrate
+    from ..sampling.replay import replay_sampled
+
+    envelope, source = sampling_calibrate.envelope_for(workload, cfg.sampling)
+    return replay_sampled(
+        program, cfg, scheme=scheme, oracle=oracle,
+        observers=issue_observers, l1_observers=l1_observers,
+        envelope_rel=envelope, envelope_source=source,
+    )
 
 
 #: ``run_scheme`` keyword parameters; anything else in ``run_sweep``'s
@@ -225,9 +295,53 @@ _RUN_SCHEME_KWARGS = frozenset(
 )
 
 
+def _validate_sweep_kwargs(kwargs: Dict, workloads: List[str]) -> None:
+    """Reject ``run_sweep`` kwargs that neither :func:`run_scheme` nor any
+    swept workload constructor would accept.
+
+    Without this check a typo (``with_acuracy=True``) silently rides the
+    ``**workload_kwargs`` channel into every workload constructor and only
+    fails — confusingly, or not at all — deep inside ``make_workload``.
+    Validation is best-effort permissive: if any swept workload's factory
+    cannot be introspected or takes ``**kwargs`` itself, unknown names are
+    allowed through (the factory is the authority then).
+    """
+    unknown = [k for k in kwargs if k not in _RUN_SCHEME_KWARGS]
+    if not unknown:
+        return
+    import inspect
+
+    from ..workloads.registry import WORKLOADS
+
+    allowed: set = set()
+    for workload in workloads:
+        factory = WORKLOADS.get(workload)
+        if factory is None:
+            # Unknown workload name: make_workload will raise its own
+            # (clearer) error; don't second-guess kwargs here.
+            return
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):
+            return
+        for param in signature.parameters.values():
+            if param.kind is inspect.Parameter.VAR_KEYWORD:
+                return
+            allowed.add(param.name)
+    bad = sorted(k for k in unknown if k not in allowed)
+    if bad:
+        names = ", ".join(repr(k) for k in bad)
+        raise TypeError(
+            f"run_sweep() got unexpected keyword argument(s) {names}: "
+            f"not a run_scheme option ({sorted(_RUN_SCHEME_KWARGS)}) and not "
+            f"a constructor parameter of any swept workload "
+            f"({sorted(set(workloads))})"
+        )
+
+
 def _dedupe_parallel_cells(
     cells: List[Tuple[str, str]],
-    base: GPUConfig,
+    base_for,
 ) -> List[List[Tuple[str, str]]]:
     """Group grid cells that resolve to the same simulation execution.
 
@@ -239,20 +353,27 @@ def _dedupe_parallel_cells(
     (the first cell, preserving grid order) and fans the shared result
     back out.  This is the library-level half of the request coalescing
     that :mod:`repro.serve` performs across tenants.
+
+    ``base_for`` maps a workload name to its base config — sampled sweeps
+    give each workload its own calibrated sampling rate, so the base is no
+    longer grid-wide.
     """
     groups: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
     order: List[Tuple[str, str]] = []
-    fingerprints: Dict[str, str] = {}
+    fingerprints: Dict[Tuple[str, str], str] = {}
     for workload, scheme in cells:
-        if scheme not in fingerprints:
-            fingerprints[scheme] = apply_scheme(base, scheme).fingerprint()
-        key = (workload, fingerprints[scheme])
+        cell = (workload, scheme)
+        if cell not in fingerprints:
+            fingerprints[cell] = apply_scheme(
+                base_for(workload), scheme
+            ).fingerprint()
+        key = (workload, fingerprints[cell])
         group = groups.get(key)
         if group is None:
-            groups[key] = [(workload, scheme)]
+            groups[key] = [cell]
             order.append(key)
-        elif (workload, scheme) not in group:
-            group.append((workload, scheme))
+        elif cell not in group:
+            group.append(cell)
     return [groups[key] for key in order]
 
 
@@ -275,9 +396,30 @@ def run_sweep(
     config: Optional[GPUConfig] = None,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    sampled=False,
     **kwargs,
 ) -> Dict[Tuple[str, str], RunResult]:
     """Run the full (workload x scheme) grid.
+
+    Extra keyword arguments split two ways: names in
+    ``("check", "with_accuracy", "with_reuse", "use_cache", "observers",
+    "persistent", "shards")`` forward to :func:`run_scheme` as options;
+    anything else forwards as a workload constructor kwarg (e.g.
+    ``balanced=True`` for bfs).  A name that is neither raises
+    :class:`TypeError` naming the offending key up front, instead of
+    surfacing later as an opaque constructor failure inside a worker.
+
+    ``sampled`` selects statistical trace replay (:mod:`repro.sampling`):
+    ``True`` looks up each workload's calibrated safe rate from the
+    ``repro sample calibrate`` table (uncalibrated workloads use the
+    conservative :data:`~repro.sampling.calibrate.DEFAULT_SPEC`; workloads
+    whose calibration *failed* its error target run exactly — the escape
+    hatch ``sampled=False`` / CLI ``--exact`` forces exact runs
+    everywhere).  A spec string (``"blocks:0.25"``) applies one rate to
+    every workload.  Sampled cells return
+    :class:`~repro.stats.sampling.SampledRunResult` and compose with the
+    result cache, ``parallel=True`` dedupe, the vector backend, and the
+    skip clock.
 
     With ``parallel=True`` the grid fans out over a
     :class:`~concurrent.futures.ProcessPoolExecutor` (``max_workers``
@@ -290,8 +432,31 @@ def run_sweep(
     """
     workloads = list(workloads)
     schemes = list(schemes)
+    _validate_sweep_kwargs(kwargs, workloads)
     grid = [(w, s) for w in workloads for s in schemes]
     results: Dict[Tuple[str, str], RunResult] = {}
+
+    if sampled:
+        from ..sampling import calibrate as sampling_calibrate
+
+        base = config or GPUConfig.default_sim()
+        configs: Dict[str, GPUConfig] = {}
+        for workload in workloads:
+            if isinstance(sampled, str):
+                spec: Optional[str] = sampled
+            else:
+                spec, _, _ = sampling_calibrate.lookup(workload)
+            if spec is None:
+                # Calibration failed its target for this workload: exact.
+                configs[workload] = base.with_sampling("off").with_frontend("trace")
+            else:
+                configs[workload] = base.with_sampling(spec)
+        _config_for = configs.__getitem__
+    else:
+        base = config or GPUConfig.default_sim()
+
+        def _config_for(workload: str) -> GPUConfig:
+            return base
 
     serializable = (kwargs.get("observers") is None
                     and not kwargs.get("with_reuse", False))
@@ -303,7 +468,8 @@ def run_sweep(
 
         def _cell_key(workload: str, scheme: str) -> Tuple:
             return (workload, scheme, scale, with_accuracy,
-                    kwargs.get("with_reuse", False), ())
+                    kwargs.get("with_reuse", False), (),
+                    _config_for(workload).fingerprint())
 
         pending: List[Tuple[str, str]] = []
         for workload, scheme in grid:
@@ -312,11 +478,10 @@ def run_sweep(
             elif (workload, scheme) not in pending:
                 pending.append((workload, scheme))
         if pending:
-            base = config or GPUConfig.default_sim()
             # Cells sharing an execution fingerprint (duplicates, scheme
             # aliases) run once; every member of the group gets the result.
-            groups = _dedupe_parallel_cells(pending, base)
-            submit = [(g[0][0], g[0][1], scale, config, kwargs)
+            groups = _dedupe_parallel_cells(pending, _config_for)
+            submit = [(g[0][0], g[0][1], scale, _config_for(g[0][0]), kwargs)
                       for g in groups]
             # Alias cells also get their own disk-cache entries so later
             # serial run_scheme calls hit, under the same conditions
@@ -331,7 +496,7 @@ def run_sweep(
                 for group, (cell, data) in zip(
                     groups, pool.map(_sweep_worker, submit)
                 ):
-                    result = RunResult.from_dict(data)
+                    result = result_from_dict(data)
                     for workload, scheme in group:
                         results[(workload, scheme)] = result
                         if use_cache:
@@ -340,7 +505,9 @@ def run_sweep(
                             result_cache.store(
                                 result_cache.cache_key(
                                     workload, scheme, scale,
-                                    apply_scheme(base, scheme).fingerprint(),
+                                    apply_scheme(
+                                        _config_for(workload), scheme
+                                    ).fingerprint(),
                                     with_accuracy,
                                 ),
                                 result,
@@ -349,7 +516,8 @@ def run_sweep(
 
     for workload, scheme in grid:
         results[(workload, scheme)] = run_scheme(
-            workload, scheme, scale=scale, config=config, **kwargs
+            workload, scheme, scale=scale, config=_config_for(workload),
+            **kwargs
         )
     return results
 

@@ -33,6 +33,12 @@ def record_events(
     asking to record with events disabled is never what the caller meant.
     Works under both frontends, both clocks, and ``shards > 1`` (the
     coordinator feeds the merged worker streams back through this bus).
+
+    With ``config.sampling != "off"`` the bus observes the *sampled*
+    replay: the stream covers only the selected subset (under renumbered
+    block ids in blocks mode) and the returned result is a
+    :class:`~repro.stats.sampling.SampledRunResult`.  Persisted event
+    streams carry the sampling spec in their provenance metadata.
     """
     from ..core.cawa import apply_scheme
     from ..experiments.runner import build_oracle
@@ -63,7 +69,8 @@ def record_events(
             # execute frontend's, not the replay we are about to time).
             run_scheme(
                 workload, scheme, scale=scale,
-                config=base.with_events("off").with_shards(1),
+                config=base.with_events("off").with_shards(1)
+                           .with_sampling("off"),
                 check=check, use_cache=False, persistent=False,
             )
             program = trace_mod.load_program(workload, scale, cfg, None)
@@ -71,6 +78,18 @@ def record_events(
             raise RuntimeError(
                 f"could not record a trace for {workload!r} at scale {scale}"
             )
+        if cfg.sampling != "off":
+            from ..sampling import calibrate as sampling_calibrate
+            from ..sampling.replay import replay_sampled
+
+            envelope, source = sampling_calibrate.envelope_for(
+                workload, cfg.sampling
+            )
+            result = replay_sampled(
+                program, cfg, scheme=scheme, oracle=oracle, bus=bus,
+                envelope_rel=envelope, envelope_source=source,
+            )
+            return result, bus
         results = trace_mod.replay_program(
             program, cfg, scheme=scheme, oracle=oracle, bus=bus
         )

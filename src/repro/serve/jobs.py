@@ -45,11 +45,15 @@ KINDS = ("run", "sweep", "figure")
 PRIORITIES = ("interactive", "batch")
 #: Numeric priority values (lower dispatches first).
 _PRIORITY_VALUE = {"interactive": 0, "batch": 10}
-#: Device knobs a job payload may override on the base GPUConfig.  All
-#: four are bit-identical-by-contract selectors (excluded from the result
-#: fingerprint), so they change how fast a job runs, never its answer —
-#: which is also why they are excluded from the coalescing fingerprint.
-DEVICE_KNOBS = ("backend", "clock", "shards", "frontend")
+#: Device knobs a job payload may override on the base GPUConfig.
+#: ``backend``/``clock``/``shards``/``frontend`` are
+#: bit-identical-by-contract selectors (excluded from the result
+#: fingerprint), so they change how fast a job runs, never its answer.
+#: ``sampling`` is the exception: it trades accuracy for speed, *does*
+#: change the reported numbers, and is therefore part of the config
+#: fingerprint — jobs differing only in ``sampling`` never coalesce
+#: (the coalescing fingerprint is built from config fingerprints).
+DEVICE_KNOBS = ("backend", "clock", "shards", "frontend", "sampling")
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -225,6 +229,8 @@ class JobSpec:
                     cfg = cfg.with_frontend(str(value))
                 elif knob == "shards":
                     cfg = cfg.with_shards(int(value)).with_frontend("trace")
+                elif knob == "sampling":
+                    cfg = cfg.with_sampling(str(value))
         except (ConfigError, ValueError, TypeError) as exc:
             raise JobSpecError(f"invalid device knob: {exc}") from exc
         return cfg
@@ -240,8 +246,10 @@ class JobSpec:
         so "identical request" here means exactly "identical simulated
         outcome".  Tenant and priority are deliberately excluded — two
         tenants asking the same question share one execution (that is the
-        multi-tenant shared cache) — as are the device knobs, which are
-        bit-identical by contract.  The ``events`` flag *is* included:
+        multi-tenant shared cache) — as are the speed-only device knobs,
+        which are bit-identical by contract (``sampling`` is captured
+        automatically: it lives in the config fingerprint this identity
+        is built from).  The ``events`` flag *is* included:
         subscribers of an obs-streaming job are promised obs records in
         their SSE feed, which a non-streaming execution would not emit.
         """

@@ -166,6 +166,14 @@ class RunResult:
     #: — excluded from parity comparisons and the result-cache fingerprint.
     #: See docs/backends.md.
     backend: str = "python"
+    #: Provenance: the trace-sampling spec this result was produced under
+    #: (``"off"`` for exact runs).  Unlike the provenance knobs above,
+    #: sampling *changes the reported numbers* — sampled results are
+    #: :class:`~repro.stats.sampling.SampledRunResult` estimates with
+    #: confidence intervals — so the spec is fingerprinted (see
+    #: :meth:`repro.config.GPUConfig.fingerprint`) and never aliases an
+    #: exact entry.
+    sampling: str = "off"
 
     @property
     def ipc(self) -> float:
@@ -243,6 +251,7 @@ class RunResult:
             "skip_jumps": self.skip_jumps,
             "events": self.events,
             "backend": self.backend,
+            "sampling": self.sampling,
             "blocks": [dataclasses.asdict(b) for b in blocks],
             "extra": {k: v for k, v in self.extra.items() if _jsonable(v)},
         }
@@ -280,7 +289,26 @@ class RunResult:
             skip_jumps=data.get("skip_jumps", 0),
             events=data.get("events", "off"),
             backend=data.get("backend", "python"),
+            sampling=data.get("sampling", "off"),
         )
+
+
+def result_from_dict(data: Dict) -> "RunResult":
+    """Deserialize a result dict to its concrete type.
+
+    Sampled results (produced under ``config.sampling != "off"``) carry a
+    ``"sampled"`` envelope with their confidence intervals and sampling
+    frame; they round-trip as
+    :class:`~repro.stats.sampling.SampledRunResult` so cache hits and
+    cross-process sweep results keep their error bars.  Everything else is
+    a plain :class:`RunResult`.
+    """
+    if "sampled" in data:
+        # Local import: stats.sampling builds on this module.
+        from .sampling import SampledRunResult
+
+        return SampledRunResult.from_dict(data)
+    return RunResult.from_dict(data)
 
 
 def merge_shard_results(parts: List["RunResult"], shards: int) -> "RunResult":
@@ -330,6 +358,7 @@ def merge_shard_results(parts: List["RunResult"], shards: int) -> "RunResult":
         shards=shards,
         events=head.events,
         backend=head.backend,
+        sampling=head.sampling,
         cycles_skipped=sum(p.cycles_skipped for p in parts),
         skip_jumps=sum(p.skip_jumps for p in parts),
     )

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import OrderedDict
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 from .. import fslock
 from ..config import GPUConfig
@@ -33,6 +34,16 @@ from .format import TraceProgram
 TRACE_SUBDIR = "traces"
 #: File extension for stored traces (zlib-compressed JSON).
 TRACE_SUFFIX = ".trace"
+
+#: In-process memo of parsed programs, LRU-bounded.  Decompressing and
+#: parsing a trace costs a noticeable fraction of a replay; a scheme
+#: sweep (and doubly so a *sampled* sweep, whose per-cell replay is tiny)
+#: loads the same file once per cell without this.  Entries validate
+#: against the file's (mtime_ns, size) on every hit, so an overwritten or
+#: deleted trace is never served stale.  Shared programs are read-only by
+#: contract: replay and subsampling never mutate record lists.
+_PROGRAM_MEMO: "OrderedDict[str, Tuple[int, int, TraceProgram]]" = OrderedDict()
+_PROGRAM_MEMO_CAP = 4
 
 
 def trace_dir() -> Path:
@@ -90,8 +101,25 @@ def load_program(
     explanation instead of silently re-simulating.
     """
     path = trace_path(workload, scale, config, workload_kwargs)
+    memo_key = str(path)
     try:
-        return TraceProgram.load(path, config.functional_fingerprint())
+        info = path.stat()
+        file_id: Optional[Tuple[int, int]] = (info.st_mtime_ns, info.st_size)
+    except OSError:
+        file_id = None
+    cached = _PROGRAM_MEMO.get(memo_key)
+    if cached is not None:
+        if file_id is not None and (cached[0], cached[1]) == file_id:
+            _PROGRAM_MEMO.move_to_end(memo_key)
+            return cached[2]
+        _PROGRAM_MEMO.pop(memo_key, None)
+    try:
+        program = TraceProgram.load(path, config.functional_fingerprint())
+        if file_id is not None:
+            _PROGRAM_MEMO[memo_key] = (file_id[0], file_id[1], program)
+            while len(_PROGRAM_MEMO) > _PROGRAM_MEMO_CAP:
+                _PROGRAM_MEMO.popitem(last=False)
+        return program
     except FileNotFoundError:
         if strict:
             raise TraceMismatchError(
@@ -123,6 +151,7 @@ def store_program(
 ) -> Optional[Path]:
     """Persist ``program``; returns the path, or ``None`` if unwritable."""
     path = trace_path(workload, scale, config, workload_kwargs)
+    _PROGRAM_MEMO.pop(str(path), None)
     try:
         program.save(path)
     except OSError:
@@ -146,6 +175,7 @@ def list_traces() -> list:
 
 def clear() -> int:
     """Delete every stored trace; returns the number of files removed."""
+    _PROGRAM_MEMO.clear()
     directory = trace_dir()
     removed = 0
     if directory.is_dir():

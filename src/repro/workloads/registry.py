@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List
 
 from .backprop import BackpropWorkload
@@ -26,12 +27,14 @@ WORKLOADS: Dict[str, Callable[..., Workload]] = {
     "kmeans": KMeansWorkload,
     "needle": NeedleWorkload,
     "srad_1": SradWorkload,
-    "strcltr_small": lambda **kw: StreamclusterWorkload(variant="small", **kw),
+    # functools.partial (not a lambda) so inspect.signature sees the real
+    # constructor parameters — run_sweep validates its kwargs against them.
+    "strcltr_small": partial(StreamclusterWorkload, variant="small"),
     # Non-sens (Table 2).
     "backprop": BackpropWorkload,
     "particle": ParticleWorkload,
     "pathfinder": PathfinderWorkload,
-    "strcltr_mid": lambda **kw: StreamclusterWorkload(variant="mid", **kw),
+    "strcltr_mid": partial(StreamclusterWorkload, variant="mid"),
     "tpacf": TpacfWorkload,
     # Synthetic microbenchmarks (not part of Table 2).
     "synthetic_imbalance": ImbalanceWorkload,

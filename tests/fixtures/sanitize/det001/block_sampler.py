@@ -1,0 +1,16 @@
+"""Seeded violation: a block sampler on an unseeded RNG (DET001).
+
+A subset selected this way would differ between two runs of the same
+configuration, silently breaking sampled-replay determinism and the
+calibration guarantee that a calibrated cell replays the exact subset
+its envelope was measured on.  The real sampler derives its generator
+from the config (``repro.sampling.spec.derive_rng``).
+"""
+
+import random
+
+
+def select_blocks(block_ids, rate):
+    rng = random.Random()
+    count = max(1, int(rate * len(block_ids)))
+    return sorted(rng.sample(list(block_ids), count))

@@ -93,14 +93,14 @@ class TestParallelSweepDedupe:
     def test_duplicate_cells_collapse_to_one_group(self):
         base = GPUConfig.default_sim()
         groups = _dedupe_parallel_cells(
-            [("bfs", "rr"), ("bfs", "rr"), ("bfs", "gto")], base
+            [("bfs", "rr"), ("bfs", "rr"), ("bfs", "gto")], lambda _w: base
         )
         assert groups == [[("bfs", "rr")], [("bfs", "gto")]]
 
     def test_distinct_schemes_stay_separate(self):
         base = GPUConfig.default_sim()
         groups = _dedupe_parallel_cells(
-            [("bfs", "rr"), ("bfs", "cawa"), ("kmeans", "rr")], base
+            [("bfs", "rr"), ("bfs", "cawa"), ("kmeans", "rr")], lambda _w: base
         )
         assert len(groups) == 3
         assert all(len(g) == 1 for g in groups)
@@ -113,7 +113,7 @@ class TestParallelSweepDedupe:
         monkeypatch.setitem(cawa.SCHEMES, "rr_alias", cawa.SCHEMES["rr"])
         base = GPUConfig.default_sim()
         groups = _dedupe_parallel_cells(
-            [("bfs", "rr"), ("bfs", "rr_alias")], base
+            [("bfs", "rr"), ("bfs", "rr_alias")], lambda _w: base
         )
         assert groups == [[("bfs", "rr"), ("bfs", "rr_alias")]]
 

@@ -1,0 +1,193 @@
+"""Unit coverage for the estimator-error measures (``repro.stats.
+accuracy``) and the CI report formatting (``repro.stats.report``) that
+back the sampled-replay calibration loop: error round-trips, coverage
+edge cases, metric accessors, and a golden CI table."""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.stats.accuracy import (
+    EstimateError,
+    compare_results,
+    interval_covers,
+    max_rel_error,
+    relative_error,
+)
+from repro.stats.report import format_ci, format_estimate_table
+from repro.stats.sampling import MetricEstimate, metric_value
+
+
+# ----------------------------------------------------------------------
+# relative_error / interval_covers edge cases
+# ----------------------------------------------------------------------
+class TestErrorMeasures:
+    def test_relative_error_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.10)
+        assert relative_error(90.0, 100.0) == pytest.approx(0.10)
+        assert relative_error(100.0, 100.0) == 0.0
+
+    def test_relative_error_negative_exact_uses_magnitudes(self):
+        assert relative_error(-90.0, -100.0) == pytest.approx(0.10)
+
+    def test_relative_error_zero_exact_agreement_is_zero(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_relative_error_zero_exact_disagreement_is_infinite(self):
+        """An infinite error can never pass a calibration target — the
+        safe failure mode for a metric the sampler invented."""
+        assert math.isinf(relative_error(5.0, 0.0))
+
+    def test_interval_covers_is_closed(self):
+        assert interval_covers(1.0, 2.0, 1.0)
+        assert interval_covers(1.0, 2.0, 2.0)
+        assert interval_covers(1.0, 2.0, 1.5)
+        assert not interval_covers(1.0, 2.0, 0.999)
+        assert not interval_covers(1.0, 2.0, 2.001)
+
+
+# ----------------------------------------------------------------------
+# EstimateError round trips
+# ----------------------------------------------------------------------
+class TestEstimateError:
+    def _err(self):
+        return EstimateError(
+            metric="cycles", exact=100.0, estimate=95.0, lo=90.0, hi=105.0
+        )
+
+    def test_derived_properties(self):
+        err = self._err()
+        assert err.rel_error == pytest.approx(0.05)
+        assert err.covered
+
+    def test_to_dict_includes_derived_fields(self):
+        payload = self._err().to_dict()
+        assert payload["metric"] == "cycles"
+        assert payload["rel_error"] == pytest.approx(0.05)
+        assert payload["covered"] is True
+
+    def test_round_trip_ignores_derived_keys(self):
+        """``from_dict`` reconstructs from the stored fields only; the
+        derived keys a JSON reader sees are recomputed, never trusted."""
+        payload = self._err().to_dict()
+        payload["rel_error"] = 0.999  # doctored: must not survive
+        payload["covered"] = False
+        back = EstimateError.from_dict(payload)
+        assert back == self._err()
+        assert back.rel_error == pytest.approx(0.05)
+        assert back.covered
+
+    def test_uncovered_interval(self):
+        err = EstimateError(
+            metric="ipc", exact=2.0, estimate=1.0, lo=0.9, hi=1.1
+        )
+        assert not err.covered
+        assert err.rel_error == pytest.approx(0.5)
+
+    def test_max_rel_error(self):
+        errors = {
+            "a": EstimateError("a", 100.0, 101.0, 100.0, 102.0),
+            "b": EstimateError("b", 100.0, 120.0, 100.0, 140.0),
+        }
+        assert max_rel_error(errors) == pytest.approx(0.20)
+        assert max_rel_error({}) == 0.0
+
+
+# ----------------------------------------------------------------------
+# compare_results and the metric accessor
+# ----------------------------------------------------------------------
+def _fake_exact(cycles=1000.0, warp_instructions=500):
+    """Duck-typed exact result: just the accessors the metrics touch."""
+    return SimpleNamespace(
+        cycles=cycles, warp_instructions=warp_instructions, blocks=[]
+    )
+
+
+def _fake_sampled(ci):
+    return SimpleNamespace(ci=ci, blocks=[])
+
+
+class TestCompareResults:
+    def test_sampled_side_answers_from_its_intervals(self):
+        sampled = _fake_sampled({
+            "cycles": MetricEstimate(value=950.0, lo=900.0, hi=1050.0),
+        })
+        errors = compare_results(sampled, _fake_exact(), ["cycles"])
+        err = errors["cycles"]
+        assert err.estimate == 950.0
+        assert err.exact == 1000.0
+        assert (err.lo, err.hi) == (900.0, 1050.0)
+        assert err.covered
+        assert err.rel_error == pytest.approx(0.05)
+
+    def test_metric_without_interval_gets_a_point_interval(self):
+        sampled = _fake_sampled({
+            "warp_instructions": MetricEstimate(value=500.0, lo=500.0,
+                                                hi=500.0),
+        })
+        # total_stall_cycles has no ci entry: lo == hi == estimate.
+        sampled.blocks = []
+        errors = compare_results(
+            sampled, _fake_exact(), ["total_stall_cycles"]
+        )
+        err = errors["total_stall_cycles"]
+        assert err.lo == err.hi == err.estimate
+
+    def test_metric_value_prefers_ci_point_estimates(self):
+        sampled = _fake_sampled({
+            "cycles": MetricEstimate(value=123.0, lo=120.0, hi=126.0),
+        })
+        assert metric_value(sampled, "cycles") == 123.0
+        assert metric_value(_fake_exact(cycles=77.0), "cycles") == 77.0
+
+    def test_metric_value_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown sampling metric"):
+            metric_value(_fake_exact(), "no_such_metric")
+
+
+# ----------------------------------------------------------------------
+# Report formatting (golden output)
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_format_ci(self):
+        # Integral floats print as integers; fractional ones keep four
+        # significant digits.
+        assert format_ci(234260.0, 231900.0, 236600.0) == (
+            "234260 [231900, 236600]"
+        )
+        assert format_ci(10.4211, 10.317, 10.526) == "10.42 [10.32, 10.53]"
+        assert format_ci(234260.5, 231900.4, 236600.6) == (
+            "2.343e+05 [2.319e+05, 2.366e+05]"
+        )
+
+    def test_golden_estimate_table(self):
+        ci = {
+            "cycles": MetricEstimate(value=1000.0, lo=950.0, hi=1050.0,
+                                     method="jackknife+envelope"),
+            "ipc": MetricEstimate(value=2.0, lo=1.9, hi=2.1,
+                                  method="envelope"),
+            "warp_instructions": MetricEstimate(value=500.0, lo=500.0,
+                                                hi=500.0, method="exact"),
+        }
+        table = format_estimate_table(
+            ci, order=["cycles", "ipc", "warp_instructions"]
+        )
+        assert table == "\n".join([
+            "metric            | estimate [95% CI] | +/-  | method            ",  # noqa: E501
+            "------------------+-------------------+------+-------------------",  # noqa: E501
+            "cycles            | 1000 [950, 1050]  | 5.0% | jackknife+envelope",  # noqa: E501
+            "ipc               | 2 [1.9, 2.1]      | 5.0% | envelope          ",  # noqa: E501
+            "warp_instructions | 500 [500, 500]    | 0.0% | exact             ",  # noqa: E501
+        ])
+
+    def test_default_order_is_sorted(self):
+        ci = {
+            "b": MetricEstimate(value=1.0, lo=1.0, hi=1.0),
+            "a": MetricEstimate(value=1.0, lo=1.0, hi=1.0),
+        }
+        lines = format_estimate_table(ci).splitlines()
+        assert lines[2].startswith("a")
+        assert lines[3].startswith("b")
