@@ -4,10 +4,10 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all test-slow lint sanitize bench profile sweep viz serve serve-smoke sample-smoke clean-cache
+.PHONY: test test-all test-slow lint sanitize bench profile sweep viz serve serve-smoke sample-smoke schemes-smoke clean-cache
 
 ## Packages held to the ruff + strict-mypy bar (CI `lint` job).
-TYPED_PACKAGES = src/repro/analysis src/repro/sanitize src/repro/obs src/repro/trace
+TYPED_PACKAGES = src/repro/analysis src/repro/sanitize src/repro/obs src/repro/trace src/repro/feedback
 
 ## Tier-1 suite: fast correctness tests (excludes `slow`-marked suites).
 test:
@@ -76,6 +76,12 @@ serve-smoke:
 ## exact metric inside its sampled 95% CI (docs/sampling.md).
 sample-smoke:
 	$(PYTEST) benchmarks/test_sample_smoke.py -q -m slow --benchmark-only
+
+## Co-design scheme smoke: every feedback-consuming scheme on two tier-1
+## workloads, execute-vs-trace cycle + signal-stream identity, one trace
+## recording per workload reused across schemes (docs/schemes.md).
+schemes-smoke:
+	$(PYTHON) tools/schemes_smoke.py
 
 ## Drop the persistent result cache.
 clean-cache:

@@ -25,6 +25,9 @@ Usage (``python -m repro <command>``)::
     python -m repro client stats
     python -m repro cache stats
     python -m repro cache gc --max-age-days 30
+    python -m repro schemes
+    python -m repro schemes --signals
+    python -m repro schemes --compare --workloads backprop,kmeans
 """
 
 from __future__ import annotations
@@ -61,6 +64,48 @@ def cmd_list(args) -> int:
         cacp_note = " + CACP" if cacp else ""
         print(f"  {scheme:<16} scheduler={scheduler}{cacp_note}")
     print(f"\nFigures: {', '.join(str(f) for f in FIGURES)} (plus 'tables')")
+    return 0
+
+
+def cmd_schemes(args) -> int:
+    from .feedback.signals import Sig, schema_table
+    from .scheduling.registry import SCHEDULERS, scheduler_info
+
+    if args.signals:
+        print(schema_table())
+        return 0
+    if args.compare:
+        from .experiments.schemes_table import (
+            DEFAULT_WORKLOADS,
+            format_head_to_head,
+            schemes_head_to_head,
+        )
+
+        workloads = (
+            args.workloads.split(",") if args.workloads
+            else list(DEFAULT_WORKLOADS)
+        )
+        results = schemes_head_to_head(
+            workloads, scale=args.scale, config=_base_config(args),
+            parallel=args.parallel,
+        )
+        print(format_head_to_head(results, workloads))
+        return 0
+    print("Registered warp schedulers (see docs/schemes.md):")
+    seen = {}
+    for name in sorted(SCHEDULERS):
+        factory = SCHEDULERS[name]
+        if factory in seen:
+            print(f"  {name:<10} alias of {seen[factory]}")
+            continue
+        seen[factory] = name
+        description, kinds = scheduler_info(name)
+        signals = (
+            "subscribes: " + ",".join(Sig(k).name for k in kinds)
+            if kinds else "no feedback subscription"
+        )
+        print(f"  {name:<10} {description}")
+        print(f"  {'':<10} {signals}")
     return 0
 
 
@@ -1130,6 +1175,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab = sub.add_parser("tables", help="print Tables 1 and 2")
     p_tab.add_argument("--fermi", action="store_true")
 
+    p_schemes = sub.add_parser(
+        "schemes",
+        help="list registered schedulers and their feedback subscriptions",
+    )
+    p_schemes.add_argument(
+        "--signals", action="store_true",
+        help="print the feedback signal schema instead",
+    )
+    p_schemes.add_argument(
+        "--compare", action="store_true",
+        help="run the co-design head-to-head (IPC/MPKI vs gto/caws/cawa)",
+    )
+    p_schemes.add_argument("--workloads", default="",
+                           help="comma-separated list for --compare")
+    p_schemes.add_argument("--scale", type=float, default=1.0)
+    p_schemes.add_argument("--parallel", action="store_true")
+    p_schemes.add_argument("--fermi", action="store_true")
+
     return parser
 
 
@@ -1150,6 +1213,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "client": cmd_client,
         "cache": cmd_cache,
+        "schemes": cmd_schemes,
     }
     return handlers[args.command](args)
 

@@ -215,6 +215,20 @@ class GPUConfig:
     #: like ``sampling`` itself: two seeds select different subsets and
     #: therefore produce (slightly) different estimates.
     sampling_seed: int = 0
+    #: Scheduler–cache co-design coupling (:mod:`repro.feedback`):
+    #: ``"channel"`` (default) wires one FeedbackChannel per SM — caches
+    #: publish miss/fill/eviction signals, schedulers with declared
+    #: ``FEEDBACK_KINDS`` subscribe through it, and CAWA's CPL→CACP
+    #: criticality coupling rides the same channel; ``"direct"`` keeps the
+    #: original hand-wired CAWA coupling as the golden reference
+    #: (feedback-consuming schedulers like ccws/wasp/ciao are rejected
+    #: there).  Publish hooks arm only when a scheme subscribes, so
+    #: non-co-design schemes pay one pointer test per cache access.  Both
+    #: modes are bit-identical by contract
+    #: (``tests/test_feedback_parity.py``) and therefore, like
+    #: ``issue_core``/``clock``, the knob is excluded from
+    #: :meth:`fingerprint`.  See ``docs/schemes.md``.
+    feedback: str = "channel"
 
     #: Knobs *excluded* from :meth:`fingerprint`.  Every entry is
     #: bit-identical by contract — switching it changes how fast a result
@@ -234,6 +248,7 @@ class GPUConfig:
         "shards",
         "events",
         "backend",
+        "feedback",
     })
 
     #: The *included* set for :meth:`functional_fingerprint`: payload key
@@ -275,6 +290,21 @@ class GPUConfig:
         if self.backend not in ("python", "vector"):
             raise ConfigError(
                 f"backend must be 'python' or 'vector', got {self.backend!r}"
+            )
+        if self.feedback not in ("channel", "direct"):
+            raise ConfigError(
+                f"feedback must be 'channel' or 'direct', got {self.feedback!r}"
+            )
+        # Validate the scheduler name eagerly against the registry (local
+        # import: repro.scheduling never imports config, so no cycle) —
+        # a typo fails when the config is built, not at device build time,
+        # and the error lists every registered name.
+        from .scheduling.registry import SCHEDULERS
+
+        if self.scheduler_name not in SCHEDULERS:
+            raise ConfigError(
+                f"unknown scheduler {self.scheduler_name!r}; expected one "
+                f"of {sorted(SCHEDULERS)}"
             )
         if self.shards <= 0:
             raise ConfigError(f"shards must be positive, got {self.shards}")
@@ -335,7 +365,12 @@ class GPUConfig:
         return cls(**params)
 
     def with_scheduler(self, name: str) -> "GPUConfig":
-        """Return a copy using warp scheduler ``name``."""
+        """Return a copy using warp scheduler ``name``.
+
+        Validates eagerly: ``replace`` re-runs ``__post_init__``, which
+        rejects names missing from the scheduling registry with the full
+        list of registered schedulers.
+        """
         return replace(self, scheduler_name=name)
 
     def with_cacp(self, enabled: bool = True, critical_ways: Optional[int] = None) -> "GPUConfig":
@@ -378,6 +413,10 @@ class GPUConfig:
     def with_backend(self, backend: str) -> "GPUConfig":
         """Return a copy using hot-path backend ``backend`` (python/vector)."""
         return replace(self, backend=backend)
+
+    def with_feedback(self, feedback: str) -> "GPUConfig":
+        """Return a copy using feedback coupling mode ``feedback``."""
+        return replace(self, feedback=feedback)
 
     def with_sampling(self, sampling: str, seed: Optional[int] = None) -> "GPUConfig":
         """Return a copy with trace-sampling spec ``sampling``.

@@ -80,6 +80,11 @@ class GPU:
         #: Optional :class:`~repro.trace.recorder.TraceRecorder` capturing
         #: this GPU's issues (see :meth:`attach_recorder`).
         self._recorder = None
+        #: Optional :class:`~repro.feedback.SignalTap` recording every
+        #: published feedback signal; set by
+        #: :func:`repro.feedback.attach_signal_tap` (sharded workers drain
+        #: it per launch).
+        self.fb_tap = None
         # sanitize: waive FPR001 -- frontend selection is bit-identical by contract (trace parity grid)
         if self.config.frontend == "trace":
             if trace is None:
@@ -154,6 +159,18 @@ class GPU:
             from ..obs.bus import wire_gpu
 
             wire_gpu(self, obs)
+        # Scheduler–cache co-design coupling (repro.feedback): build the
+        # per-SM channels and subscribe interested schedulers, or — in the
+        # golden-reference direct mode — verify no scheme needs them.
+        # sanitize: waive FPR001 -- feedback wirings are bit-identical by contract (tests/test_feedback_parity.py)
+        if self.config.feedback == "channel":
+            from ..feedback.channel import wire_gpu_feedback
+
+            wire_gpu_feedback(self)
+        else:
+            from ..feedback.channel import require_no_subscribers
+
+            require_no_subscribers(self)
 
     # ------------------------------------------------------------------
     def _scheduler_factory(self):

@@ -121,7 +121,7 @@ class _SharedMemoryClient:
                 self._tick_cycle,
                 self._sm_id,
                 (req.line_addr, req.pc, req.is_load, req.is_critical,
-                 req.cycle, req.signature),
+                 req.cycle, req.signature, req.warp_key[1], req.warp_key[2]),
                 start,
             )
         )
@@ -246,7 +246,12 @@ def _worker_main(gpu, shard_idx: int, num_shards: int, scheme: str, conn) -> Non
         for launch in gpu.trace_program.launches:
             result, end_cycle = _worker_run_launch(gpu, launch, owned, scheme, proxy)
             events = gpu.obs.drain() if gpu.obs is not None else None
-            conn.send(("launch_done", result.to_dict(), end_cycle, events))
+            # Owned-SM L1 feedback signals recorded this launch (foreign
+            # SMs never tick, so they publish nothing — no unwiring
+            # needed); L2 signals are the coordinator's.
+            signals = gpu.fb_tap.drain() if gpu.fb_tap is not None else None
+            conn.send(("launch_done", result.to_dict(), end_cycle, events,
+                       signals))
             tag, global_now = conn.recv()
             assert tag == "resume"
             gpu.now = global_now
@@ -291,11 +296,15 @@ def _check_grid_resident(cfg: GPUConfig, program) -> None:
 def _serve_access(hierarchy: MemoryHierarchy, msg) -> float:
     """Apply one remoted L2/DRAM walk to the authoritative shared state."""
     _, _, sm_id, fields, start = msg
-    line_addr, pc, is_load, is_critical, cycle, signature = fields
+    line_addr, pc, is_load, is_critical, cycle, signature, block, warp = fields
     req = MemRequest(
         line_addr=line_addr,
         pc=pc,
-        warp_key=(sm_id, -1, -1),
+        # Full warp attribution (not (sm, -1, -1)): the coordinator's L2
+        # feedback signals and fill bookkeeping carry the same identities
+        # a serial replay would, at zero timing impact (nothing on the
+        # L2/DRAM walk reads the block/warp indices).
+        warp_key=(sm_id, block, warp),
         is_load=is_load,
         is_critical=is_critical,
         cycle=cycle,
@@ -314,6 +323,7 @@ def replay_program_sharded(
     oracle: Optional[dict] = None,
     max_cycles: float = 5e7,
     bus=None,
+    feedback_tap=None,
 ) -> List[RunResult]:
     """Replay ``program`` across ``config.shards`` worker processes.
 
@@ -330,6 +340,15 @@ def replay_program_sharded(
     :func:`~repro.obs.collect.merge_event_streams`, and ingests the result
     into the caller-visible bus — byte-identical across shard counts
     (``tests/test_obs_sharded.py``).
+
+    Feedback signals (``feedback_tap``): the same shipping pattern.  Each
+    worker records its owned SMs' L1 signals into an inherited per-process
+    tap (foreign SMs never tick, so they publish nothing); the coordinator
+    records the authoritative shared-L2 signals itself and merges every
+    stream into the canonical ``(cycle, sm, kind, fields)`` order with
+    :func:`~repro.feedback.signals.merge_signal_streams` before appending
+    to the caller's tap — identical streams across shard counts
+    (``tests/test_feedback_determinism.py``).
     """
     from .gpu import GPU  # local: avoid import cycle at module load
 
@@ -361,6 +380,21 @@ def replay_program_sharded(
         spec = config.events if config.events != "off" else "on"
         coord_bus = bus_from_spec(spec)
         wire_hierarchy(hierarchy, coord_bus)
+    coord_tap = None
+    if feedback_tap is not None:
+        from ..feedback.channel import FeedbackChannel, SignalTap, attach_signal_tap
+
+        # Worker-side tap on the (pre-fork) template device: every forked
+        # worker inherits an independent buffer covering its owned SMs' L1
+        # channels.  The coordinator's own tap covers the authoritative
+        # shared L2 (the workers' local L2s are never accessed).
+        attach_signal_tap(gpu, SignalTap())
+        coord_tap = SignalTap()
+        coord_ch = FeedbackChannel(-1)
+        coord_ch.tap = coord_tap
+        hierarchy.l2.cache.fb = coord_ch
+        hierarchy.l2.cache.fb_owner = -1
+        hierarchy.l2.cache.fb_level = 1
 
     ctx = multiprocessing.get_context("fork")
     conns = []
@@ -397,7 +431,11 @@ def replay_program_sharded(
                         pending[w] = msg
                 for w, msg in list(pending.items()):
                     if msg[0] == "launch_done":
-                        done[w] = (msg[1], msg[2], msg[3] if len(msg) > 3 else None)
+                        done[w] = (
+                            msg[1], msg[2],
+                            msg[3] if len(msg) > 3 else None,
+                            msg[4] if len(msg) > 4 else None,
+                        )
                         del pending[w]
                 if pending:
                     # Serve the globally earliest shared access: keys are
@@ -406,7 +444,7 @@ def replay_program_sharded(
                     w = min(pending, key=lambda k: (pending[k][1], pending[k][2]))
                     conns[w].send(_serve_access(hierarchy, pending.pop(w)))
 
-            global_end = max(end for _, end, _ in done.values())
+            global_end = max(item[1] for item in done.values())
             for w in range(num_shards):
                 conns[w].send(("resume", global_end + 1.0))
 
@@ -427,6 +465,16 @@ def replay_program_sharded(
                 merged_events = merge_event_streams(streams)
                 bus.ingest(merged_events)
                 merged.extra["events_recorded"] = len(merged_events)
+            if feedback_tap is not None:
+                from ..feedback.signals import merge_signal_streams
+
+                sig_streams = [
+                    done[w][3] for w in range(num_shards) if done[w][3]
+                ]
+                coord_signals = coord_tap.drain()
+                if coord_signals:
+                    sig_streams.append(coord_signals)
+                feedback_tap.records.extend(merge_signal_streams(sig_streams))
             merged_results.append(merged)
 
         for w in range(num_shards):

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..config import CacheConfig
+from ..feedback.signals import Sig
 from ..obs.events import Ev
 from .replacement import ReplacementPolicy
 from .request import MemRequest
@@ -25,6 +26,10 @@ _EV_CACHE_MISS = int(Ev.CACHE_MISS)
 _EV_CACHE_FILL = int(Ev.CACHE_FILL)
 _EV_CACHE_EVICT = int(Ev.CACHE_EVICT)
 _EV_CACHE_BYPASS = int(Ev.CACHE_BYPASS)
+
+_SIG_MISS = int(Sig.MISS)
+_SIG_FILL = int(Sig.FILL)
+_SIG_EVICT = int(Sig.EVICT)
 
 
 @dataclass
@@ -43,6 +48,11 @@ class CacheLine:
     filled_by_critical: bool = False
     fill_pc: int = -1
     fill_cycle: float = 0.0
+    # Warp attribution of the fill (``req.warp_key[1:]``): lets eviction
+    # feedback signals name the *victim's* owner (CCWS victim tag arrays,
+    # CIAO interference scores).  -1 when unattributed.
+    fill_block: int = -1
+    fill_warp: int = -1
     # CACP per-line flags (Algorithm 4).
     c_reuse: bool = False
     nc_reuse: bool = False
@@ -60,6 +70,8 @@ class CacheLine:
         self.filled_by_critical = req.is_critical
         self.fill_pc = req.pc
         self.fill_cycle = req.cycle
+        self.fill_block = req.warp_key[1]
+        self.fill_warp = req.warp_key[2]
         self.c_reuse = False
         self.nc_reuse = False
         self.signature = req.signature
@@ -130,6 +142,19 @@ class Cache:
         #: The line objects stay authoritative — the mirror only replaces
         #: the probe loops and victim searches with array operations.
         self.mirror = None
+        #: FeedbackChannel (``repro.feedback``) or ``None``; set by
+        #: :func:`repro.feedback.wire_gpu_feedback` /
+        #: :func:`~repro.feedback.attach_signal_tap` only when a scheme
+        #: subscribes or a tap records, so the disabled cost is one
+        #: pointer test.  Both backends publish from the same scalar
+        #: fill/evict code (the TagMirror only changes way-finding), so
+        #: signal streams are backend-identical by construction.
+        self.fb = None
+        #: SM id stamped on published signals, or -1 to derive it from the
+        #: request's ``warp_key`` (the shared L2 serves every SM).
+        self.fb_owner = -1
+        #: ``LEVEL_L1D`` (0) or ``LEVEL_L2`` (1) on published signals.
+        self.fb_level = 0
 
     # ------------------------------------------------------------------
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
@@ -184,6 +209,18 @@ class Cache:
             return True
 
         self.stats.misses += 1
+        fb = self.fb
+        if fb is not None:
+            # Published *before* the fill so subscribers probe their victim
+            # tag state as it stood when the miss was detected (the fill's
+            # own eviction lands after this record).
+            owner = self.fb_owner
+            fb.publish((
+                _SIG_MISS, req.cycle,
+                owner if owner >= 0 else req.warp_key[0],
+                self.fb_level, req.warp_key[1], req.warp_key[2],
+                req.line_addr, req.pc,
+            ))
         if getattr(self.policy, "should_bypass", None) and self.policy.should_bypass(req):
             # Bypass: the request is serviced from L2/DRAM without
             # allocating a line, so it cannot evict useful data.
@@ -236,6 +273,15 @@ class Cache:
                 owner if owner >= 0 else req.warp_key[0],
                 self.obs_level, req.line_addr, 1 if req.is_critical else 0,
             ))
+        fb = self.fb
+        if fb is not None:
+            owner = self.fb_owner
+            fb.publish((
+                _SIG_FILL, req.cycle,
+                owner if owner >= 0 else req.warp_key[0],
+                self.fb_level, req.warp_key[1], req.warp_key[2],
+                req.line_addr, 1 if req.is_critical else 0,
+            ))
 
     def _evict(self, line: CacheLine, req: MemRequest) -> None:
         self.stats.evictions += 1
@@ -256,6 +302,18 @@ class Cache:
                 self.obs_level, line.line_addr,
                 1 if line.reuse_count > 0 else 0,
             ))
+        fb = self.fb
+        if fb is not None:
+            # Dual attribution: the victim's filler (from the line) and the
+            # evicting requester (from the fill request being serviced).
+            owner = self.fb_owner
+            fb.publish((
+                _SIG_EVICT, req.cycle,
+                owner if owner >= 0 else req.warp_key[0],
+                self.fb_level, line.fill_block, line.fill_warp,
+                line.line_addr, 1 if line.reuse_count > 0 else 0,
+                req.warp_key[1], req.warp_key[2],
+            ))
 
     def batch_hits(self, line_addrs: List[int], req: MemRequest) -> bool:
         """All-hit probe + commit for one coalesced warp access.
@@ -272,7 +330,9 @@ class Cache:
         in-tree ``on_hit`` reads the per-line request fields (``line_addr``,
         ``pc``, ``signature``, ``cycle``).  Observer hooks *do* read them,
         so the LSU only takes this path with ``observers`` empty and every
-        ``obs`` bus (cache, policy, LSU) detached.
+        ``obs`` bus (cache, policy, LSU) detached.  Feedback channels
+        (``self.fb``) need no such guard: the signal schema publishes only
+        misses, fills and evictions, and the all-hit path produces none.
         """
         mirror = self.mirror
         if mirror is None or not mirror.all_hit(line_addrs):

@@ -21,6 +21,9 @@ DET003     error     order-unstable iteration: unsorted glob/listdir,
                      set iteration, id()-based ordering
 OBS001     error     probe parity: overrides dropping event emission;
                      Ev kinds never emitted / unknown kinds emitted
+FBK001     error     feedback publish parity: overrides dropping signal
+                     publication; Sig kinds never published / unknown
+                     kinds published
 CLK001     error     timing components invisible to the skip clock (no
                      next_event_time()/next_wake_time())
 SHD001     error     worker-closure modules touching coordinator-owned
@@ -49,6 +52,7 @@ from .source import ConfigFacts, SourceModule, SourceTree, parse_config_facts
 from . import rules_fingerprint  # noqa: E402,F401  (registration)
 from . import rules_determinism  # noqa: E402,F401  (registration)
 from . import rules_obs  # noqa: E402,F401  (registration)
+from . import rules_fbk  # noqa: E402,F401  (registration)
 from . import rules_protocol  # noqa: E402,F401  (registration)
 from . import rules_shard  # noqa: E402,F401  (registration)
 

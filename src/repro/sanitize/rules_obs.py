@@ -23,20 +23,41 @@ Emission sites are recognized by the established probe idioms::
     self.obs.emit((_EV_WARP_ISSUE, ...))     # module-level alias
     emit((Ev.WARP_ISSUE, ...))               # local binding of bus.emit
     _EV_WARP_ISSUE = int(Ev.WARP_ISSUE)      # the alias declaration
+
+The same machinery, parameterized over (enum class, call-site method
+names), backs FBK001 in :mod:`repro.sanitize.rules_fbk` for the feedback
+channel's ``Sig``/``publish`` idiom — one engine, two schemas.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
 
 from ..analysis.common import Severity
 from .registry import Hit, SanitizeContext, hit, rule
 from .source import SourceModule
 
 
-def _kind_from_ev_attr(node: ast.expr) -> Optional[str]:
-    """``Ev.X`` or ``int(Ev.X)`` -> "X"."""
+@dataclass(frozen=True)
+class ParitySpec:
+    """One (enum, call idiom) pairing the parity engine checks.
+
+    ``enum_name`` is the kind-enum class (``Ev``, ``Sig``); ``methods``
+    the attribute/name call targets recognized as sites (``emit``,
+    ``publish``); ``verb``/``noun`` feed the finding messages.
+    """
+
+    enum_name: str
+    methods: FrozenSet[str]
+    verb: str  # "emission" / "publication"
+    stream: str  # "event streams" / "signal streams"
+    dead_msg: str  # tail of the dead-schema finding
+
+
+def _kind_from_enum_attr(node: ast.expr, enum_name: str) -> Optional[str]:
+    """``<Enum>.X`` or ``int(<Enum>.X)`` -> "X"."""
     if (
         isinstance(node, ast.Call)
         and isinstance(node.func, ast.Name)
@@ -47,13 +68,13 @@ def _kind_from_ev_attr(node: ast.expr) -> Optional[str]:
     if (
         isinstance(node, ast.Attribute)
         and isinstance(node.value, ast.Name)
-        and node.value.id == "Ev"
+        and node.value.id == enum_name
     ):
         return node.attr
     return None
 
 
-def _module_aliases(module: SourceModule) -> Dict[str, str]:
+def _module_aliases(module: SourceModule, enum_name: str) -> Dict[str, str]:
     """Module-level ``_EV_X = int(Ev.X)`` / ``= Ev.X`` alias bindings."""
     aliases: Dict[str, str] = {}
     for stmt in module.tree.body:
@@ -62,30 +83,30 @@ def _module_aliases(module: SourceModule) -> Dict[str, str]:
         target = stmt.targets[0]
         if not isinstance(target, ast.Name):
             continue
-        kind = _kind_from_ev_attr(stmt.value)
+        kind = _kind_from_enum_attr(stmt.value, enum_name)
         if kind is not None:
             aliases[target.id] = kind
     return aliases
 
 
-def _emitted_kinds(
-    node: ast.AST, aliases: Dict[str, str]
+def _site_kinds(
+    node: ast.AST, aliases: Dict[str, str], spec: ParitySpec
 ) -> Iterator[Tuple[str, int]]:
-    """``(kind, lineno)`` for every recognizable emit site under ``node``."""
+    """``(kind, lineno)`` for every recognizable site under ``node``."""
     for sub in ast.walk(node):
         if not isinstance(sub, ast.Call):
             continue
         func = sub.func
-        is_emit = (isinstance(func, ast.Name) and func.id == "emit") or (
-            isinstance(func, ast.Attribute) and func.attr == "emit"
-        )
-        if not is_emit or not sub.args:
+        is_site = (
+            isinstance(func, ast.Name) and func.id in spec.methods
+        ) or (isinstance(func, ast.Attribute) and func.attr in spec.methods)
+        if not is_site or not sub.args:
             continue
         record = sub.args[0]
         if not isinstance(record, ast.Tuple) or not record.elts:
             continue
         head = record.elts[0]
-        kind = _kind_from_ev_attr(head)
+        kind = _kind_from_enum_attr(head, spec.enum_name)
         if kind is None and isinstance(head, ast.Name):
             kind = aliases.get(head.id)
         if kind is not None:
@@ -111,17 +132,15 @@ def _calls_super(fn: ast.FunctionDef) -> bool:
     return False
 
 
-@rule(
-    "OBS001",
-    Severity.ERROR,
-    "probe parity broken between a component and its twin",
-)
-def check_probe_parity(ctx: SanitizeContext) -> Iterator[Hit]:
+def iter_parity_hits(
+    ctx: SanitizeContext, spec: ParitySpec
+) -> Iterator[Hit]:
+    """Override-parity + kind-coverage findings for one :class:`ParitySpec`."""
     alias_cache: Dict[str, Dict[str, str]] = {}
 
     def aliases_of(module: SourceModule) -> Dict[str, str]:
         if module.rel not in alias_cache:
-            alias_cache[module.rel] = _module_aliases(module)
+            alias_cache[module.rel] = _module_aliases(module, spec.enum_name)
         return alias_cache[module.rel]
 
     # -- override parity -------------------------------------------------
@@ -140,7 +159,8 @@ def check_probe_parity(ctx: SanitizeContext) -> Iterator[Hit]:
                         continue
                     checked.add(name)  # nearest base definition governs
                     base_kinds = {
-                        k for k, _ in _emitted_kinds(base_fn, base_aliases)
+                        k
+                        for k, _ in _site_kinds(base_fn, base_aliases, spec)
                     }
                     if not base_kinds:
                         continue
@@ -149,8 +169,8 @@ def check_probe_parity(ctx: SanitizeContext) -> Iterator[Hit]:
                         continue
                     mine = {
                         k
-                        for k, _ in _emitted_kinds(
-                            override, aliases_of(module)
+                        for k, _ in _site_kinds(
+                            override, aliases_of(module), spec
                         )
                     }
                     missing = base_kinds - mine
@@ -159,18 +179,18 @@ def check_probe_parity(ctx: SanitizeContext) -> Iterator[Hit]:
                             module,
                             override.lineno,
                             f"override of {base_cls.name}.{name} drops "
-                            f"emission of {sorted(missing)}; twins must "
-                            "produce identical event streams — call "
-                            "super() or emit the same kinds",
+                            f"{spec.verb} of {sorted(missing)}; twins must "
+                            f"produce identical {spec.stream} — call "
+                            "super() or reproduce the same kinds",
                         )
 
     # -- kind coverage ---------------------------------------------------
-    ev_entry = ctx.tree.classes.get("Ev")
-    if ev_entry is None:
+    enum_entry = ctx.tree.classes.get(spec.enum_name)
+    if enum_entry is None:
         return
-    ev_module, ev_cls = ev_entry
+    enum_module, enum_cls = enum_entry
     members: Dict[str, int] = {}
-    for stmt in ev_cls.body:
+    for stmt in enum_cls.body:
         if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
             target = stmt.targets[0]
             if isinstance(target, ast.Name):
@@ -182,22 +202,42 @@ def check_probe_parity(ctx: SanitizeContext) -> Iterator[Hit]:
 
     sites: Dict[str, Tuple[SourceModule, int]] = {}
     for module in ctx.tree.modules:
-        for kind, lineno in _emitted_kinds(module.tree, aliases_of(module)):
+        for kind, lineno in _site_kinds(
+            module.tree, aliases_of(module), spec
+        ):
             sites.setdefault(kind, (module, lineno))
 
     for kind, lineno in members.items():
         if kind not in sites:
             yield hit(
-                ev_module,
+                enum_module,
                 lineno,
-                f"Ev.{kind} has no emission site anywhere in the tree; "
-                "dead schema entries rot the exporter and collectors",
+                f"{spec.enum_name}.{kind} has no site anywhere in the "
+                f"tree; {spec.dead_msg}",
             )
     for kind, (module, lineno) in sorted(sites.items()):
         if kind not in members:
             yield hit(
                 module,
                 lineno,
-                f"emits kind {kind!r}, which is not an Ev member; the "
-                "record would fail schema validation",
+                f"uses kind {kind!r}, which is not a {spec.enum_name} "
+                "member; the record would fail schema validation",
             )
+
+
+OBS_SPEC = ParitySpec(
+    enum_name="Ev",
+    methods=frozenset({"emit"}),
+    verb="emission",
+    stream="event streams",
+    dead_msg="dead schema entries rot the exporter and collectors",
+)
+
+
+@rule(
+    "OBS001",
+    Severity.ERROR,
+    "probe parity broken between a component and its twin",
+)
+def check_probe_parity(ctx: SanitizeContext) -> Iterator[Hit]:
+    yield from iter_parity_hits(ctx, OBS_SPEC)

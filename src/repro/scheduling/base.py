@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import ClassVar, List, Optional, Tuple
 
 from ..simt.warp import Warp
 
@@ -14,9 +14,27 @@ class WarpScheduler:
     whose next instruction has all operands ready.  Schedulers are stateful
     (round-robin pointers, greedy targets, criticality ranks) and are
     notified of issues and warp lifecycle events.
+
+    Cache co-design schemes additionally declare the feedback signal kinds
+    they consume in :attr:`FEEDBACK_KINDS`; the device wiring
+    (:func:`repro.feedback.wire_gpu_feedback`) subscribes
+    :meth:`on_signal` to the SM's FeedbackChannel for exactly those kinds,
+    in scheduler-slot order.  ``select`` may return ``None`` to decline the
+    issue slot (active-warp throttling); every clock loop treats a decline
+    as "re-tick this SM next cycle".
     """
 
     name = "base"
+
+    #: One-line human description shown by ``repro schemes``.
+    DESCRIPTION: ClassVar[str] = ""
+
+    #: Feedback signal kinds (``repro.feedback.Sig`` values) this scheme
+    #: subscribes to; empty means the scheme never touches the channel.
+    FEEDBACK_KINDS: ClassVar[Tuple[int, ...]] = ()
+
+    def on_signal(self, record: tuple) -> None:
+        """Receive one subscribed feedback signal (publish order)."""
 
     def select(self, ready: List[Warp], now: float) -> Optional[Warp]:
         """Pick one warp from ``ready`` (non-empty) to issue at ``now``."""

@@ -19,6 +19,7 @@ OracleTable = Dict[Tuple[int, int], float]
 
 class OracleCAWSScheduler(WarpScheduler):
     name = "caws"
+    DESCRIPTION = "oracle criticality priority from profiled per-warp times"
 
     def __init__(self, oracle: Optional[OracleTable] = None) -> None:
         #: Measured per-warp execution times from a profiling run; larger

@@ -25,6 +25,7 @@ class GCAWSScheduler(WarpScheduler):
     """
 
     name = "gcaws"
+    DESCRIPTION = "CAWA's online CPL criticality priority + GTO greedy slice"
 
     def __init__(self, greedy: bool = True, ratio: float = 2.0) -> None:
         #: Disabling ``greedy`` yields the pure criticality-priority ablation

@@ -15,6 +15,7 @@ from .base import WarpScheduler
 
 class GTOScheduler(WarpScheduler):
     name = "gto"
+    DESCRIPTION = "greedy-then-oldest: issue one warp until it stalls, then oldest"
 
     def __init__(self) -> None:
         self._greedy_target: Optional[Warp] = None

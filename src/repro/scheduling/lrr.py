@@ -15,6 +15,7 @@ from .base import WarpScheduler
 
 class LRRScheduler(WarpScheduler):
     name = "lrr"
+    DESCRIPTION = "loose round-robin: fair turns, criticality-oblivious baseline"
 
     def __init__(self) -> None:
         self._last_id: int = -1

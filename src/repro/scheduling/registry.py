@@ -1,15 +1,24 @@
-"""Scheduler factory registry."""
+"""Scheduler factory registry.
+
+Every warp scheduler is registered here by name; ``GPUConfig`` validates
+scheduler names eagerly against this table at construction time, so an
+unknown name fails when the config is built, not when the device is.
+``repro schemes`` renders :func:`scheduler_info` for every entry.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Tuple
 
 from .base import WarpScheduler
 from .caws import OracleCAWSScheduler
+from .ccws import CCWSScheduler
+from .ciao import CIAOScheduler
 from .gcaws import GCAWSScheduler
 from .gto import GTOScheduler
 from .lrr import LRRScheduler
 from .two_level import TwoLevelScheduler
+from .wasp import WaSPScheduler
 
 SCHEDULERS: Dict[str, Callable[..., WarpScheduler]] = {
     "lrr": LRRScheduler,
@@ -19,6 +28,9 @@ SCHEDULERS: Dict[str, Callable[..., WarpScheduler]] = {
     "2lev": TwoLevelScheduler,
     "caws": OracleCAWSScheduler,
     "gcaws": GCAWSScheduler,
+    "ccws": CCWSScheduler,
+    "wasp": WaSPScheduler,
+    "ciao": CIAOScheduler,
 }
 
 
@@ -31,3 +43,16 @@ def make_scheduler(name: str, **kwargs) -> WarpScheduler:
             f"unknown scheduler {name!r}; expected one of {sorted(SCHEDULERS)}"
         ) from None
     return factory(**kwargs)
+
+
+def scheduler_info(name: str) -> Tuple[str, Tuple[int, ...]]:
+    """Return ``(description, feedback_kinds)`` for one registry entry."""
+    factory = SCHEDULERS[name]
+    description = getattr(factory, "DESCRIPTION", "") or ""
+    kinds = tuple(getattr(factory, "FEEDBACK_KINDS", ()))
+    return description, kinds
+
+
+def scheduler_names() -> List[str]:
+    """Registered names, sorted (includes aliases like ``rr``/``2lev``)."""
+    return sorted(SCHEDULERS)

@@ -17,6 +17,7 @@ from .base import WarpScheduler
 
 class TwoLevelScheduler(WarpScheduler):
     name = "two_level"
+    DESCRIPTION = "two-level fetch groups: round-robin inside one active group"
 
     def __init__(self, fetch_group_size: int = 8) -> None:
         if fetch_group_size <= 0:

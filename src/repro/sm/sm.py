@@ -95,6 +95,20 @@ class StreamingMultiprocessor:
         self.executor = executor
         self.schedulers = [scheduler_factory() for _ in range(config.num_schedulers_per_sm)]
         self.cpl = cpl
+        #: Warp-criticality query used by the MSHR-reserve gate and the LSU
+        #: issue path.  Bound to the CPL predictor's own method here — the
+        #: historical hand-wired CAWA coupling, which ``feedback='direct'``
+        #: keeps as the golden reference; in ``feedback='channel'`` mode
+        #: :func:`repro.feedback.wire_gpu_feedback` publishes the *same*
+        #: bound method on the SM's FeedbackChannel and re-binds this
+        #: attribute from it, so the two modes are bit-identical by
+        #: construction (``tests/test_feedback_parity.py``).
+        self._is_critical: Optional[Callable[[Warp], bool]] = (
+            cpl.is_critical if cpl is not None else None
+        )
+        #: Per-SM FeedbackChannel (``repro.feedback``) or ``None``; set by
+        #: ``wire_gpu_feedback`` when ``feedback='channel'``.
+        self.feedback = None
         # Hot-loop locals: the per-cycle tick and per-instruction issue
         # paths read these every iteration, and going through the frozen
         # ``config`` dataclass costs two attribute lookups each time.
@@ -248,7 +262,7 @@ class StreamingMultiprocessor:
         """
         issued = False
         reserve = self._reserve
-        cpl = self.cpl
+        crit_fn = self._is_critical
         mshr = self.mshr
         free_mshrs = -1  # computed lazily: only slots with candidates pay
         for slot, scheduler in enumerate(self.schedulers):
@@ -284,8 +298,8 @@ class StreamingMultiprocessor:
                     if needs_mem:  # next instruction needs an MSHR
                         if free_mshrs <= 0:
                             continue
-                        if reserve and free_mshrs <= reserve and cpl is not None:
-                            if not cpl.is_critical(w):
+                        if reserve and free_mshrs <= reserve and crit_fn is not None:
+                            if not crit_fn(w):
                                 continue
                     ready.append(w)
                 if not ready:
@@ -312,6 +326,7 @@ class StreamingMultiprocessor:
         issued = False
         num_slots = self._num_slots
         reserve = self._reserve
+        crit_fn = self._is_critical
         free_mshrs = self.mshr.free_entries(now)
         for slot, scheduler in enumerate(self.schedulers):
             ready = []
@@ -328,8 +343,8 @@ class StreamingMultiprocessor:
                     # entries untouched for critical warps.
                     if free_mshrs <= 0:
                         continue
-                    if reserve and free_mshrs <= reserve and self.cpl is not None:
-                        if not self.cpl.is_critical(w):
+                    if reserve and free_mshrs <= reserve and crit_fn is not None:
+                        if not crit_fn(w):
                             continue
                 ready.append(w)
             if not ready:
@@ -422,7 +437,8 @@ class StreamingMultiprocessor:
             self.stats.branches += 1
         elif op in (Opcode.LD, Opcode.ST):
             self._mshr_touched = True
-            is_critical = self.cpl.is_critical(warp) if self.cpl is not None else False
+            crit_fn = self._is_critical
+            is_critical = crit_fn(warp) if crit_fn is not None else False
             completion, _ = self.lsu.issue(
                 warp, inst, result.mem_addrs, result.mem_mask, now, is_critical,
                 lines=result.mem_lines,

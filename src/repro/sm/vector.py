@@ -124,7 +124,7 @@ class VectorSM(StreamingMultiprocessor):
         issued = False
         leftover = False  # a due, ungated warp was passed over this cycle
         reserve = self._reserve
-        cpl = self.cpl
+        crit_fn = self._is_critical
         mshr = self.mshr
         num_slots = self._num_slots
         warps = store.warps
@@ -155,8 +155,8 @@ class VectorSM(StreamingMultiprocessor):
                     if needs_mem[i]:  # next instruction needs an MSHR
                         if free_mshrs <= 0:
                             continue
-                        if reserve and free_mshrs <= reserve and cpl is not None:
-                            if not cpl.is_critical(warps[i]):
+                        if reserve and free_mshrs <= reserve and crit_fn is not None:
+                            if not crit_fn(warps[i]):
                                 continue
                     ready.append(warps[i])
                 if not ready:

@@ -153,6 +153,7 @@ def replay_program(
     observers: Optional[list] = None,
     l1_observers: Optional[list] = None,
     bus=None,
+    feedback_tap=None,
 ):
     """Replay every launch of ``program``; returns the list of results.
 
@@ -162,6 +163,11 @@ def replay_program(
     ``issue_observers``; ``l1_observers`` join each L1D's observer list.
     ``bus`` is an optional :class:`repro.obs.bus.EventBus` the replay wires
     in place of the config-built one (callers attach collectors first).
+    ``feedback_tap`` is an optional :class:`repro.feedback.SignalTap`
+    recording every published feedback signal (requires
+    ``feedback='channel'``); under sharding the per-worker streams and the
+    coordinator's shared-L2 stream are merged into canonical order before
+    landing in the tap.
 
     With ``config.shards > 1`` the launches are replayed by the sharded
     multi-process engine (:mod:`repro.gpu.sharded`): SMs are partitioned
@@ -197,10 +203,14 @@ def replay_program(
             )
         return replay_program_sharded(
             program, cfg, scheme=scheme, oracle=oracle, max_cycles=max_cycles,
-            bus=bus,
+            bus=bus, feedback_tap=feedback_tap,
         )
     gpu = GPU(cfg, oracle=oracle, max_cycles=max_cycles, trace=program,
               obs=bus)
+    if feedback_tap is not None:
+        from ..feedback.channel import attach_signal_tap
+
+        attach_signal_tap(gpu, feedback_tap)
     for observer in observers or ():
         for sm in gpu.sms:
             sm.issue_observers.append(observer)

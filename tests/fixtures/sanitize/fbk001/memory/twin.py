@@ -1,0 +1,17 @@
+"""Seeded violation: an override that drops a publish site (FBK001).
+
+``VectorCache._evict`` overrides ``ScalarCache._evict`` without calling
+``super()`` and without publishing ``Sig.EVICT`` itself, so the vector
+twin's feedback signal stream silently diverges from the scalar's — and
+with it every feedback-consuming scheduler's issue decisions.
+"""
+
+
+class ScalarCache:
+    def _evict(self, line, req):
+        self.fb.publish((Sig.EVICT, self.now, self.fb_owner))
+
+
+class VectorCache(ScalarCache):
+    def _evict(self, line, req):
+        self.victims += 1

@@ -12,6 +12,9 @@ from repro.scheduling import (
     OracleCAWSScheduler,
     TwoLevelScheduler,
 )
+from repro.scheduling.ccws import CCWSScheduler
+from repro.scheduling.ciao import CIAOScheduler
+from repro.scheduling.wasp import WaSPScheduler
 
 _EXPECTED_SCHEDULER_TYPES = {
     "rr": LRRScheduler,
@@ -25,6 +28,9 @@ _EXPECTED_SCHEDULER_TYPES = {
     "two_level+cacp": TwoLevelScheduler,
     "cawa+bypass": GCAWSScheduler,
     "cawa+mshr": GCAWSScheduler,
+    "ccws": CCWSScheduler,
+    "wasp": WaSPScheduler,
+    "ciao": CIAOScheduler,
 }
 
 

@@ -1,0 +1,392 @@
+"""Unit tests for repro.feedback: schema, channel, wiring guards, schemes.
+
+The runtime contracts (cross-mode stream identity, CAWA bit-identity) live
+in ``test_feedback_determinism.py`` / ``test_feedback_parity.py``; this
+file covers the pieces in isolation: the signal schema, the
+publish/subscribe channel, the eager config-time validation satellites,
+the direct-mode guard, and the three feedback-consuming schedulers driven
+by hand-crafted signal streams.
+"""
+
+import pytest
+
+from repro import GPU
+from repro.config import GPUConfig
+from repro.errors import ConfigError
+from repro.feedback.channel import FeedbackChannel, SignalTap
+from repro.feedback.signals import (
+    LEVEL_L1D,
+    LEVEL_L2,
+    Sig,
+    SignalSchemaError,
+    merge_signal_streams,
+    schema_table,
+    signal_to_dict,
+    sort_signals,
+    validate_signal,
+    validate_signals,
+)
+from repro.scheduling import ccws as ccws_mod
+from repro.scheduling import ciao as ciao_mod
+from repro.scheduling import wasp as wasp_mod
+from repro.scheduling.ccws import CCWSScheduler
+from repro.scheduling.ciao import CIAOScheduler
+from repro.scheduling.registry import (
+    SCHEDULERS,
+    make_scheduler,
+    scheduler_info,
+    scheduler_names,
+)
+from repro.scheduling.wasp import WaSPScheduler
+from repro.simt.warp import WarpStatus
+
+MISS = (int(Sig.MISS), 10.0, 0, LEVEL_L1D, 1, 2, 0x400, 7)
+FILL = (int(Sig.FILL), 11.0, 0, LEVEL_L1D, 1, 2, 0x400, 0)
+EVICT = (int(Sig.EVICT), 12.0, 0, LEVEL_L1D, 0, 3, 0x200, 1, 1, 2)
+
+
+# ----------------------------------------------------------------------
+# Signal schema
+# ----------------------------------------------------------------------
+class TestSchema:
+    @pytest.mark.parametrize("record", [MISS, FILL, EVICT])
+    def test_valid_records_pass(self, record):
+        validate_signal(record)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SignalSchemaError, match="too short"):
+            validate_signal((int(Sig.MISS), 1.0))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SignalSchemaError, match="unknown signal kind"):
+            validate_signal((99, 1.0, 0, LEVEL_L1D))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SignalSchemaError, match="MISS"):
+            validate_signal(MISS + (123,))
+
+    def test_validate_signals_counts(self):
+        assert validate_signals([MISS, FILL, EVICT]) == 3
+
+    def test_signal_to_dict_names_fields(self):
+        d = signal_to_dict(EVICT)
+        assert d["kind"] == "EVICT"
+        assert d["cycle"] == 12.0
+        assert d["victim_block"] == 0
+        assert d["victim_warp"] == 3
+        assert d["reused"] == 1
+        assert d["evictor_block"] == 1
+        assert d["evictor_warp"] == 2
+
+    def test_sort_is_cycle_sm_kind_order(self):
+        a = (int(Sig.MISS), 5.0, 1, LEVEL_L1D, 0, 0, 0x100, 0)
+        b = (int(Sig.MISS), 5.0, 0, LEVEL_L1D, 0, 0, 0x100, 0)
+        c = (int(Sig.FILL), 4.0, 2, LEVEL_L1D, 0, 0, 0x100, 0)
+        assert sort_signals([a, b, c]) == [c, b, a]
+
+    def test_merge_is_sort_of_concatenation(self):
+        s1, s2 = [MISS, EVICT], [FILL]
+        assert merge_signal_streams([s1, s2]) == sort_signals(s1 + s2)
+
+    def test_schema_table_lists_every_kind(self):
+        table = schema_table()
+        for kind in Sig:
+            assert kind.name in table
+
+    def test_l2_level_code_distinct(self):
+        assert LEVEL_L1D != LEVEL_L2
+
+
+# ----------------------------------------------------------------------
+# Channel + tap
+# ----------------------------------------------------------------------
+class TestChannel:
+    def test_publish_dispatches_by_kind_in_subscription_order(self):
+        ch = FeedbackChannel(0)
+        got = []
+        ch.subscribe((Sig.MISS,), lambda r: got.append(("first", r)))
+        ch.subscribe((Sig.MISS, Sig.EVICT), lambda r: got.append(("second", r)))
+        ch.publish(MISS)
+        ch.publish(FILL)  # nobody subscribed
+        ch.publish(EVICT)
+        assert got == [("first", MISS), ("second", MISS), ("second", EVICT)]
+
+    def test_unknown_kind_subscription_fails_loudly(self):
+        with pytest.raises(ValueError):
+            FeedbackChannel(0).subscribe((99,), lambda r: None)
+
+    def test_tap_records_even_unsubscribed_kinds(self):
+        ch = FeedbackChannel(0)
+        ch.tap = tap = SignalTap()
+        ch.publish(MISS)
+        ch.publish(FILL)
+        assert tap.records == [MISS, FILL]
+        assert len(tap) == 2
+        assert tap.drain() == [MISS, FILL]
+        assert len(tap) == 0
+
+    def test_publish_checked_validates(self):
+        ch = FeedbackChannel(0)
+        ch.publish_checked(MISS)
+        with pytest.raises(SignalSchemaError):
+            ch.publish_checked((99, 1.0, 0))
+
+    def test_subscription_introspection(self):
+        ch = FeedbackChannel(0)
+        assert not ch.has_subscribers()
+        ch.subscribe((Sig.EVICT, Sig.MISS), lambda r: None)
+        assert ch.has_subscribers()
+        assert ch.subscribed_kinds() == (int(Sig.MISS), int(Sig.EVICT))
+
+
+# ----------------------------------------------------------------------
+# Config-time validation satellites + direct-mode guard
+# ----------------------------------------------------------------------
+class TestConfigValidation:
+    def test_unknown_scheduler_fails_at_config_time(self):
+        with pytest.raises(ConfigError, match="bogus") as err:
+            GPUConfig.default_sim().with_scheduler("bogus")
+        # The error must list the registered names.
+        for name in ("gto", "ccws", "wasp", "ciao"):
+            assert name in str(err.value)
+
+    def test_unknown_scheduler_fails_in_constructor_too(self):
+        with pytest.raises(ConfigError, match="bogus"):
+            GPUConfig.default_sim(scheduler_name="bogus")
+
+    def test_every_registered_name_is_accepted(self):
+        for name in scheduler_names():
+            assert GPUConfig.default_sim().with_scheduler(name).scheduler_name == name
+
+    def test_feedback_mode_validated(self):
+        with pytest.raises(ConfigError, match="feedback"):
+            GPUConfig.default_sim(feedback="bogus")
+
+    def test_with_feedback_round_trip(self):
+        cfg = GPUConfig.default_sim()
+        assert cfg.feedback == "channel"
+        assert cfg.with_feedback("direct").feedback == "direct"
+
+    def test_feedback_mode_is_fingerprint_transparent(self):
+        cfg = GPUConfig.default_sim()
+        assert cfg.fingerprint() == cfg.with_feedback("direct").fingerprint()
+
+    @pytest.mark.parametrize("scheme", ["ccws", "wasp", "ciao"])
+    def test_direct_mode_rejects_feedback_consumers(self, scheme):
+        cfg = GPUConfig.default_sim(feedback="direct").with_scheduler(scheme)
+        with pytest.raises(ConfigError, match=scheme):
+            GPU(cfg)
+
+    def test_direct_mode_accepts_feedback_oblivious_schedulers(self):
+        GPU(GPUConfig.default_sim(feedback="direct").with_scheduler("gcaws"))
+
+
+# ----------------------------------------------------------------------
+# Registry metadata
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="ccws"):
+            make_scheduler("bogus")
+
+    def test_every_scheduler_has_a_description(self):
+        for name in SCHEDULERS:
+            description, _ = scheduler_info(name)
+            assert description, f"{name} has no DESCRIPTION"
+
+    def test_feedback_kinds_are_valid_sig_values(self):
+        for name in SCHEDULERS:
+            _, kinds = scheduler_info(name)
+            for kind in kinds:
+                Sig(kind)  # raises on junk
+
+    def test_consumer_subscriptions(self):
+        assert set(scheduler_info("ccws")[1]) == {int(Sig.EVICT), int(Sig.MISS)}
+        assert set(scheduler_info("wasp")[1]) == {int(Sig.EVICT)}
+        assert set(scheduler_info("ciao")[1]) == {int(Sig.EVICT)}
+        assert scheduler_info("gto")[1] == ()
+
+
+# ----------------------------------------------------------------------
+# Scheduler units, driven by hand-crafted signals
+# ----------------------------------------------------------------------
+class _Block:
+    def __init__(self, block_id):
+        self.block_id = block_id
+
+
+class _StubWarp:
+    """The scheduler-visible slice of a warp."""
+
+    def __init__(self, dynamic_id, block_id=0, warp_id_in_block=None):
+        self.dynamic_id = dynamic_id
+        self.block = _Block(block_id)
+        self.warp_id_in_block = (
+            warp_id_in_block if warp_id_in_block is not None else dynamic_id
+        )
+        self.status = WarpStatus.RUNNING
+        self.issued_instructions = 0
+
+
+def _evict(victim, evictor, line_addr, reused=0, cycle=1.0):
+    return (
+        int(Sig.EVICT), cycle, 0, LEVEL_L1D,
+        victim.block.block_id, victim.warp_id_in_block, line_addr, reused,
+        evictor.block.block_id, evictor.warp_id_in_block,
+    )
+
+
+def _miss(warp, line_addr, cycle=1.0):
+    return (
+        int(Sig.MISS), cycle, 0, LEVEL_L1D,
+        warp.block.block_id, warp.warp_id_in_block, line_addr, 0,
+    )
+
+
+class TestCCWSUnit:
+    def _scheduler(self, n=4):
+        sched = CCWSScheduler()
+        warps = [_StubWarp(i) for i in range(n)]
+        for w in warps:
+            sched.notify_warp_added(w)
+        return sched, warps
+
+    def test_no_lost_locality_degenerates_to_round_robin(self):
+        sched, warps = self._scheduler()
+        assert sched.select(warps, 1.0) is warps[0]
+        sched.notify_issue(warps[0], 1.0)
+        assert sched.select(warps, 2.0) is warps[1]
+
+    def test_vta_hit_throttles_the_tail(self):
+        sched, warps = self._scheduler()
+        # Warp 0 loses a line, then misses on it: lost locality detected.
+        sched.on_signal(_evict(warps[0], warps[1], 0x400, cycle=1.0))
+        sched.on_signal(_miss(warps[0], 0x400, cycle=2.0))
+        # Scores now (228, 100, 100, 100); cutoff 400 -> prefix of 3.
+        allowed = sched._allowed(2.0)
+        assert allowed == {(0, 0), (0, 1), (0, 2)}
+        # A slot offering only the throttled warp is declined ...
+        assert sched.select([warps[3]], 2.0) is None
+        # ... while the locality-heavy warp wins a mixed slot.
+        sched._last_id = -1
+        assert sched.select([warps[0], warps[3]], 2.0) is warps[0]
+
+    def test_score_decays_back_to_baseline(self):
+        sched, warps = self._scheduler()
+        sched.on_signal(_evict(warps[0], warps[1], 0x400, cycle=1.0))
+        sched.on_signal(_miss(warps[0], 0x400, cycle=2.0))
+        assert sched._allowed(2.0) is not None
+        later = 2.0 + ccws_mod.DECAY_PERIOD * ccws_mod.VTA_BUMP
+        assert sched._allowed(later) is None  # throttle released
+
+    def test_vta_capacity_is_lru(self):
+        sched, warps = self._scheduler(1)
+        for i in range(ccws_mod.VTA_ENTRIES + 2):
+            sched.on_signal(_evict(warps[0], warps[0], 0x1000 + i))
+        loc = sched._warps[(0, 0)]
+        assert len(loc.vta) == ccws_mod.VTA_ENTRIES
+        assert 0x1000 not in loc.vta and 0x1001 not in loc.vta
+
+    def test_untracked_warp_signals_ignored(self):
+        sched, warps = self._scheduler(1)
+        stranger = _StubWarp(99, block_id=7)
+        sched.on_signal(_miss(stranger, 0x400))  # other slot's warp
+        assert sched._warps[(0, 0)].bonus == 0.0
+
+
+class TestWaSPUnit:
+    def _scheduler(self, n=8):
+        sched = WaSPScheduler()
+        warps = [_StubWarp(i) for i in range(n)]
+        for w in warps:
+            sched.notify_warp_added(w)
+        return sched, warps
+
+    def test_prefetchers_run_ahead_first(self):
+        sched, warps = self._scheduler()
+        # Warps 0 and 4 are prefetchers (stride 4); 0 is oldest.
+        assert sched.select(list(warps), 1.0) is warps[0]
+
+    def test_lead_limit_benches_runaway_prefetchers(self):
+        sched, warps = self._scheduler()
+        for w in warps:
+            if wasp_mod._is_prefetcher(w):
+                w.issued_instructions = wasp_mod.MAX_LEAD  # at the limit
+        # Prefetchers are out of lead; greedy/oldest takes over.
+        pick = sched.select([warps[1], warps[2], warps[5]], 1.0)
+        assert pick is warps[1]
+
+    def test_wasted_window_halves_the_lead(self):
+        sched, warps = self._scheduler()
+        assert sched._max_lead == wasp_mod.MAX_LEAD
+        for _ in range(wasp_mod.ADAPT_WINDOW):
+            sched.on_signal(_evict(warps[0], warps[1], 0x400, reused=0))
+        assert sched._max_lead == wasp_mod.MAX_LEAD // 2
+
+    def test_useful_window_grows_the_lead_back(self):
+        sched, warps = self._scheduler()
+        sched._max_lead = wasp_mod.MIN_LEAD
+        for _ in range(wasp_mod.ADAPT_WINDOW):
+            sched.on_signal(_evict(warps[0], warps[1], 0x400, reused=1))
+        assert sched._max_lead == wasp_mod.MIN_LEAD + wasp_mod.LEAD_STEP
+
+    def test_follower_evictions_do_not_adapt(self):
+        sched, warps = self._scheduler()
+        for _ in range(wasp_mod.ADAPT_WINDOW):
+            sched.on_signal(_evict(warps[1], warps[2], 0x400, reused=0))
+        assert sched._max_lead == wasp_mod.MAX_LEAD
+
+
+class TestCIAOUnit:
+    def _scheduler(self, n=2):
+        sched = CIAOScheduler()
+        warps = [_StubWarp(i) for i in range(n)]
+        for w in warps:
+            sched.notify_warp_added(w)
+        return sched, warps
+
+    def _saturate(self, sched, victim, evictor, cycle=1.0):
+        bumps = int(ciao_mod.SCORE_HI / ciao_mod.BUMP_REUSED)
+        for _ in range(bumps):
+            sched.on_signal(_evict(victim, evictor, 0x400, reused=1, cycle=cycle))
+
+    def test_interferer_is_throttled(self):
+        sched, (w0, w1) = self._scheduler()
+        self._saturate(sched, victim=w1, evictor=w0)
+        assert sched.select([w0, w1], 1.0) is w1
+
+    def test_all_throttled_still_makes_progress(self):
+        sched, (w0, w1) = self._scheduler()
+        self._saturate(sched, victim=w1, evictor=w0)
+        assert sched.select([w0], 1.0) is w0
+
+    def test_hysteresis_releases_after_decay(self):
+        sched, (w0, w1) = self._scheduler()
+        self._saturate(sched, victim=w1, evictor=w0, cycle=1.0)
+        entry = sched._warps[(0, 0)]
+        assert entry.is_throttled(1.0)
+        # Still benched above the low-water mark ...
+        mid = 1.0 + ciao_mod.DECAY_PERIOD * (
+            (ciao_mod.SCORE_HI - ciao_mod.SCORE_LO) / 2
+        )
+        assert entry.is_throttled(mid)
+        # ... released once decayed to SCORE_LO.
+        late = 1.0 + ciao_mod.DECAY_PERIOD * (
+            ciao_mod.SCORE_HI - ciao_mod.SCORE_LO
+        )
+        assert not entry.is_throttled(late)
+
+    def test_self_eviction_is_not_interference(self):
+        sched, (w0, w1) = self._scheduler()
+        sched.on_signal(_evict(w0, w0, 0x400, reused=1))
+        assert sched._warps[(0, 0)].score == 0.0
+
+    def test_unattributed_victim_ignored(self):
+        sched, (w0, w1) = self._scheduler()
+        record = (
+            int(Sig.EVICT), 1.0, 0, LEVEL_L1D,
+            -1, -1, 0x400, 0,
+            w0.block.block_id, w0.warp_id_in_block,
+        )
+        sched.on_signal(record)
+        assert sched._warps[(0, 0)].score == 0.0

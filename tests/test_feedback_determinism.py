@@ -1,0 +1,143 @@
+"""Feedback signal streams are bit-identical across every simulator mode.
+
+The FeedbackChannel determinism contract (docs/schemes.md): the canonical
+signal stream — every record, compared as ``(cycle, sm, kind, fields)``
+tuples — is identical across execute/trace frontends, cycle/skip clocks,
+python/vector backends, and shard counts; and because the consumer
+schemes (ccws/wasp/ciao) alter issue decisions based on those signals,
+their *cycle counts* must agree across modes too, which these tests pin
+alongside the streams themselves.
+
+Recording goes through :func:`repro.feedback.record_signals`, which taps
+every per-SM L1 channel plus the shared-L2 device channel.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.feedback import record_signals
+from repro.feedback.signals import LEVEL_L1D, LEVEL_L2, Sig, validate_signals
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="sharded replay requires the fork start method",
+)
+
+CONSUMER_SCHEMES = ["ccws", "wasp", "ciao"]
+
+#: Wide enough for strcltr_mid scale=1 (4 blocks) to be fully resident
+#: under sharding (same sizing as test_sharded_replay).
+NUM_SMS = 4
+
+
+def _record(scheme, workload="backprop", scale=0.25, num_sms=None,
+            frontend="execute", clock="cycle", backend="python", shards=1):
+    cfg = GPUConfig.default_sim(
+        **({"num_sms": num_sms} if num_sms is not None else {})
+    ).with_clock(clock).with_backend(backend)
+    if frontend == "trace":
+        cfg = cfg.with_frontend("trace").with_shards(shards)
+    result, signals = record_signals(workload, scheme, scale=scale, config=cfg)
+    return result, signals
+
+
+class TestSignalStreamFast:
+    """Tier-1 subset: one workload, every consumer scheme, core modes."""
+
+    @pytest.mark.parametrize("scheme", CONSUMER_SCHEMES)
+    def test_execute_trace_identical(self, scheme):
+        exec_result, exec_signals = _record(scheme, frontend="execute")
+        trace_result, trace_signals = _record(scheme, frontend="trace")
+        assert exec_result.cycles == trace_result.cycles
+        assert exec_signals == trace_signals
+        assert validate_signals(exec_signals) > 0
+
+    def test_clock_and_backend_identical(self):
+        _, reference = _record("ccws")
+        _, skip = _record("ccws", clock="skip")
+        _, vector = _record("ccws", backend="vector")
+        _, skip_vector = _record("ccws", clock="skip", backend="vector")
+        assert skip == reference
+        assert vector == reference
+        assert skip_vector == reference
+
+    def test_stream_contents(self):
+        result, signals = _record("ccws")
+        # Every kind flows; L2 signals ride the device channel with the
+        # *requesting* SM id, so sm >= 0 everywhere.
+        kinds = {record[0] for record in signals}
+        assert kinds == {int(Sig.MISS), int(Sig.FILL), int(Sig.EVICT)}
+        levels = {record[3] for record in signals}
+        assert levels == {LEVEL_L1D, LEVEL_L2}
+        assert all(record[2] >= 0 for record in signals)
+        # L1 misses surface in both the stream and the counters.
+        l1_misses = sum(
+            1 for r in signals
+            if r[0] == int(Sig.MISS) and r[3] == LEVEL_L1D
+        )
+        assert l1_misses == result.l1_stats.misses
+
+    def test_direct_config_is_upgraded(self):
+        # record_signals flips feedback='direct' to 'channel' rather than
+        # failing the attach.
+        _, signals = _record("ccws")
+        cfg = GPUConfig.default_sim(feedback="direct")
+        _, upgraded = record_signals("backprop", "ccws", scale=0.25, config=cfg)
+        assert upgraded == signals
+
+    def test_feedback_oblivious_scheme_streams_too(self):
+        # The tap force-wires publish hooks even when no scheduler
+        # subscribes, so gto is observable without behavior change.
+        result, signals = _record("gto")
+        assert validate_signals(signals) > 0
+        assert result.cycles > 0
+
+
+@needs_fork
+class TestShardedStreams:
+    """Worker-local L1 + coordinator L2 signals merge to the serial stream."""
+
+    def test_two_shards_match_serial(self):
+        serial_result, serial = _record(
+            "ccws", workload="strcltr_mid", scale=1.0, num_sms=NUM_SMS,
+            frontend="trace", shards=1,
+        )
+        sharded_result, sharded = _record(
+            "ccws", workload="strcltr_mid", scale=1.0, num_sms=NUM_SMS,
+            frontend="trace", shards=2,
+        )
+        assert sharded_result.cycles == serial_result.cycles
+        assert sharded == serial
+        assert validate_signals(sharded) > 0
+
+    @pytest.mark.slow
+    def test_four_shards_match_serial(self):
+        _, serial = _record(
+            "ccws", workload="strcltr_mid", scale=1.0, num_sms=NUM_SMS,
+            frontend="trace", shards=1,
+        )
+        _, sharded = _record(
+            "ccws", workload="strcltr_mid", scale=1.0, num_sms=NUM_SMS,
+            frontend="trace", shards=4,
+        )
+        assert sharded == serial
+
+
+@pytest.mark.slow
+class TestSignalStreamFullGrid:
+    """Every consumer scheme x clock x backend, execute and trace."""
+
+    @pytest.mark.parametrize("scheme", CONSUMER_SCHEMES)
+    def test_grid_cell(self, scheme):
+        _, reference = _record(scheme)
+        for frontend in ("execute", "trace"):
+            for clock in ("cycle", "skip"):
+                for backend in ("python", "vector"):
+                    _, signals = _record(
+                        scheme, frontend=frontend, clock=clock, backend=backend
+                    )
+                    assert signals == reference, (
+                        f"{scheme}: {frontend}/{clock}/{backend} diverged"
+                    )

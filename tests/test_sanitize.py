@@ -33,7 +33,16 @@ from repro.sanitize import (
 
 FIXTURES = Path(__file__).parent / "fixtures" / "sanitize"
 
-ALL_RULES = ("FPR001", "DET001", "DET002", "DET003", "OBS001", "CLK001", "SHD001")
+ALL_RULES = (
+    "FPR001",
+    "DET001",
+    "DET002",
+    "DET003",
+    "OBS001",
+    "FBK001",
+    "CLK001",
+    "SHD001",
+)
 
 
 def unsuppressed_rules(report: SanitizeReport) -> set:
